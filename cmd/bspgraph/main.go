@@ -1,0 +1,174 @@
+// Command bspgraph runs the vertex-centric BSP algorithms (the paper's
+// contribution) over a stored graph, printing results, per-superstep
+// statistics, and simulated Cray XMT times.
+//
+// Usage:
+//
+//	bspgraph -g graph.gxmt -alg cc|bfs|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
+//	         [-src -1] [-procs 128] [-rounds 30]
+//
+// SSSP requires a weighted graph (graphgen does not emit one; build via
+// the library or a weighted DIMACS file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphxmt/internal/bspalg"
+	"graphxmt/internal/graph"
+	"graphxmt/internal/graphio"
+	"graphxmt/internal/machine"
+	"graphxmt/internal/trace"
+)
+
+func main() {
+	path := flag.String("g", "", "graph file (required)")
+	alg := flag.String("alg", "cc", "algorithm: cc, bfs, sssp, tc, tc-streaming, pagerank, kcore, lp, bc, mis, diameter")
+	src := flag.Int64("src", -1, "bfs/sssp source (-1 = max-degree vertex)")
+	procs := flag.Int("procs", 128, "simulated processors")
+	rounds := flag.Int("rounds", 30, "pagerank supersteps")
+	profile := flag.String("profile", "", "write the recorded work profile as JSON to this path")
+	flag.Parse()
+
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "bspgraph: -g is required")
+		os.Exit(2)
+	}
+	g, err := graphio.LoadFile(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bspgraph:", err)
+		os.Exit(1)
+	}
+	fmt.Println("loaded", g)
+
+	model := machine.NewAnalytic(machine.DefaultConfig())
+	rec := trace.NewRecorder()
+	source := *src
+	if source < 0 {
+		source = maxDegreeVertex(g)
+	}
+
+	switch strings.TrimSpace(*alg) {
+	case "cc":
+		res, err := bspalg.ConnectedComponents(g, rec)
+		exitOn(err)
+		comps := map[int64]int64{}
+		for _, l := range res.Labels {
+			comps[l]++
+		}
+		fmt.Printf("[bsp cc] %d components in %d supersteps\n", len(comps), res.Supersteps)
+		fmt.Printf("         active/step:   %v\n", res.ActivePerStep)
+		fmt.Printf("         messages/step: %v\n", res.MessagesPerStep)
+	case "bfs":
+		res, err := bspalg.BFS(g, source, rec)
+		exitOn(err)
+		var reached int64
+		for _, f := range res.FrontierPerStep {
+			reached += f
+		}
+		fmt.Printf("[bsp bfs] source=%d supersteps=%d reached=%d\n", source, res.Supersteps, reached)
+		fmt.Printf("          frontier/level: %v\n", res.FrontierPerStep)
+		fmt.Printf("          messages/step:  %v\n", res.MessagesPerStep)
+	case "sssp":
+		if !g.Weighted() {
+			fmt.Fprintln(os.Stderr, "bspgraph: sssp requires a weighted graph")
+			os.Exit(2)
+		}
+		res, err := bspalg.SSSP(g, source, rec)
+		exitOn(err)
+		var reached int
+		for _, d := range res.Dist {
+			if d >= 0 {
+				reached++
+			}
+		}
+		fmt.Printf("[bsp sssp] source=%d supersteps=%d reached=%d\n", source, res.Supersteps, reached)
+	case "tc":
+		res, err := bspalg.Triangles(g, rec)
+		exitOn(err)
+		fmt.Printf("[bsp tc] triangles=%d candidates=%d total-messages=%d supersteps=%d\n",
+			res.Count, res.CandidateMessages, res.TotalMessages, res.Supersteps)
+	case "tc-streaming":
+		res := bspalg.StreamingTriangles(g, rec)
+		fmt.Printf("[bsp tc-streaming] triangles=%d candidates=%d total-messages=%d supersteps=%d\n",
+			res.Count, res.CandidateMessages, res.TotalMessages, res.Supersteps)
+	case "mis":
+		res, err := bspalg.MaximalIndependentSet(g, 7, rec)
+		exitOn(err)
+		members := 0
+		for _, in := range res.InSet {
+			if in {
+				members++
+			}
+		}
+		valid := bspalg.ValidateMIS(g, res.InSet)
+		fmt.Printf("[bsp mis] %d members in %d rounds (valid=%v)\n", members, res.Rounds, valid)
+	case "diameter":
+		d, err := bspalg.ApproxDiameter(g, source, 4, rec)
+		exitOn(err)
+		fmt.Printf("[bsp diameter] >= %d (double-sweep from %d)\n", d, source)
+	case "bc":
+		res, err := bspalg.Betweenness(g, bspalg.BetweennessOptions{Samples: 16, Seed: 7}, rec)
+		exitOn(err)
+		var max float64
+		var arg int
+		for i, sc := range res.Score {
+			if sc > max {
+				max, arg = sc, i
+			}
+		}
+		fmt.Printf("[bsp bc] sources=%d supersteps=%d top vertex %d (%.4g)\n",
+			len(res.Sources), res.Supersteps, arg, max)
+	case "kcore":
+		res, err := bspalg.KCore(g, rec)
+		exitOn(err)
+		fmt.Printf("[bsp kcore] degeneracy=%d supersteps=%d\n", res.MaxCore, res.Supersteps)
+	case "lp":
+		res, err := bspalg.LabelPropagation(g, *rounds, rec)
+		exitOn(err)
+		fmt.Printf("[bsp lp] %d communities in %d supersteps\n", res.Communities, res.Supersteps)
+	case "pagerank":
+		res, err := bspalg.PageRank(g, *rounds, rec)
+		exitOn(err)
+		var max float64
+		var arg int
+		for i, r := range res.Rank {
+			if r > max {
+				max, arg = r, i
+			}
+		}
+		fmt.Printf("[bsp pagerank] supersteps=%d top vertex %d (%.5f)\n", res.Supersteps, arg, max)
+	default:
+		fmt.Fprintf(os.Stderr, "bspgraph: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+	fmt.Printf("simulated time on %d procs: %.4fs\n",
+		*procs, machine.Seconds(model, rec.Phases(), *procs))
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		exitOn(err)
+		exitOn(rec.WriteJSON(f))
+		exitOn(f.Close())
+		fmt.Println("work profile written to", *profile)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bspgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func maxDegreeVertex(g *graph.Graph) int64 {
+	var best, src int64 = -1, 0
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > best {
+			best, src = d, v
+		}
+	}
+	return src
+}

@@ -1,0 +1,76 @@
+// Community detection in both programming models. The paper's authors'
+// companion work ("Parallel community detection for massive graphs",
+// cited in the paper's related work) motivates community structure as a
+// core analytic; this example plants communities in a stochastic block
+// model graph and recovers them with label propagation twice — once with
+// the shared-memory sweep (labels propagate within an iteration) and once
+// with the BSP vertex program (labels are one superstep stale) — then
+// compares recovered modularity, iteration counts, and simulated Cray XMT
+// time. The iteration gap mirrors the paper's connected-components
+// analysis: staleness costs supersteps.
+//
+// Run with: go run ./examples/communities
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphxmt/internal/bspalg"
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graphct"
+	"graphxmt/internal/machine"
+	"graphxmt/internal/trace"
+)
+
+func main() {
+	// 16 planted communities of 64 vertices; dense inside, sparse between.
+	const communities, size = 16, 64
+	g, err := gen.PlantedPartition(communities, size, 0.25, 0.002, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted %d communities of %d in %v\n", communities, size, g)
+
+	// Shared-memory label propagation.
+	ctRec := trace.NewRecorder()
+	ct := graphct.LabelPropagation(g, graphct.CommunityOptions{}, ctRec)
+
+	// BSP label propagation.
+	bspRec := trace.NewRecorder()
+	bsp, err := bspalg.LabelPropagation(g, 40, bspRec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := machine.NewAnalytic(machine.DefaultConfig())
+	const procs = 128
+	fmt.Printf("\n%-22s %12s %12s %10s %12s\n", "", "communities", "modularity", "iters", "sim time")
+	fmt.Printf("%-22s %12d %12.4f %10d %11.5fs\n",
+		"shared memory (LPA)", ct.Communities, graphct.Modularity(g, ct.Labels),
+		ct.Iterations, machine.Seconds(model, ctRec.Phases(), procs))
+	fmt.Printf("%-22s %12d %12.4f %10d %11.5fs\n",
+		"BSP (vertex program)", bsp.Communities, graphct.Modularity(g, bsp.Labels),
+		bsp.Supersteps, machine.Seconds(model, bspRec.Phases(), procs))
+
+	// How well did each recover the planted structure? Count intra-block
+	// agreement.
+	agreement := func(labels []int64) float64 {
+		agree, total := 0, 0
+		for u := int64(0); u < g.NumVertices(); u++ {
+			for v := u + 1; v < g.NumVertices(); v++ {
+				if u/size == v/size {
+					total++
+					if labels[u] == labels[v] {
+						agree++
+					}
+				}
+			}
+		}
+		return float64(agree) / float64(total)
+	}
+	fmt.Printf("\nplanted-pair recovery: shared memory %.1f%%, BSP %.1f%%\n",
+		100*agreement(ct.Labels), 100*agreement(bsp.Labels))
+	fmt.Println("note the BSP iteration count: stale labels move one hop per superstep,")
+	fmt.Println("the same effect the paper measures on connected components (13 vs 6).")
+}

@@ -1,0 +1,3 @@
+module graphxmt
+
+go 1.22

@@ -1,0 +1,652 @@
+package bspalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graph"
+	"graphxmt/internal/graphct"
+	"graphxmt/internal/rng"
+	"graphxmt/internal/trace"
+)
+
+func randomGraph(seed uint64, n int64, m int) *graph.Graph {
+	r := rng.New(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: int64(r.Uint64n(uint64(n))), V: int64(r.Uint64n(uint64(n)))}
+	}
+	return graph.MustBuild(n, edges, graph.BuildOptions{SortAdjacency: true})
+}
+
+func TestBSPCCMatchesReferenceAndGraphCT(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		g := randomGraph(seed, 60, 90)
+		bsp, err := ConnectedComponents(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.ReferenceComponents(g)
+		ct := graphct.ConnectedComponents(g, nil)
+		for v := range want {
+			if bsp.Labels[v] != want[v] {
+				t.Fatalf("seed %d: bsp labels[%d] = %d, want %d", seed, v, bsp.Labels[v], want[v])
+			}
+			if ct.Labels[v] != want[v] {
+				t.Fatalf("seed %d: graphct labels[%d] = %d, want %d", seed, v, ct.Labels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBSPCCNeedsMoreIterationsThanSharedMemory(t *testing.T) {
+	// The paper's central CC observation: messages cannot move forward
+	// within a superstep, so BSP needs at least ~2x the iterations of the
+	// label-propagating shared-memory kernel on small-world graphs.
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 12, EdgeFactor: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsp, err := ConnectedComponents(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := graphct.ConnectedComponents(g, nil)
+	if bsp.Supersteps < ct.Iterations {
+		t.Fatalf("bsp %d supersteps < graphct %d iterations", bsp.Supersteps, ct.Iterations)
+	}
+	// Label flooding moves the minimum one hop per superstep; the
+	// shared-memory sweep propagates within an iteration.
+	if float64(bsp.Supersteps) < 1.5*float64(ct.Iterations) {
+		t.Logf("warning: bsp %d vs graphct %d below the 2x the paper reports",
+			bsp.Supersteps, ct.Iterations)
+	}
+}
+
+func TestBSPCCActiveSetCollapses(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 12, EdgeFactor: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsp, err := ConnectedComponents(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := bsp.ActivePerStep[0]
+	last := bsp.ActivePerStep[len(bsp.ActivePerStep)-1]
+	if first != g.NumVertices() {
+		t.Fatalf("superstep 0 active = %d, want all %d", first, g.NumVertices())
+	}
+	if last*10 > first {
+		t.Fatalf("final active %d not a small fraction of %d", last, first)
+	}
+}
+
+func TestBSPCCCombinedEquivalent(t *testing.T) {
+	g := randomGraph(3, 100, 250)
+	plain, err := ConnectedComponents(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := ConnectedComponentsCombined(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Supersteps != combined.Supersteps {
+		t.Fatalf("supersteps: %d vs %d", plain.Supersteps, combined.Supersteps)
+	}
+	for v := range plain.Labels {
+		if plain.Labels[v] != combined.Labels[v] {
+			t.Fatal("combiner changed the result")
+		}
+	}
+}
+
+func TestBSPBFSMatchesReferenceAndGraphCT(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		g := randomGraph(seed, 50, 80)
+		bsp, err := BFS(g, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.ReferenceBFS(g, 0)
+		ct := graphct.BFS(g, 0, nil)
+		for v := range want {
+			if bsp.Dist[v] != want[v] {
+				t.Fatalf("seed %d: bsp dist[%d] = %d, want %d", seed, v, bsp.Dist[v], want[v])
+			}
+			if ct.Dist[v] != want[v] {
+				t.Fatalf("seed %d: graphct dist[%d] = %d, want %d", seed, v, ct.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBSPBFSMessagesExceedFrontier(t *testing.T) {
+	// Figure 2's observation: a message goes to every neighbor of the
+	// frontier, so messages >= next frontier at every level, and messages
+	// equal edges incident on the frontier.
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 12, EdgeFactor: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root at the largest-degree vertex for a full traversal.
+	var src int64
+	var best int64 = -1
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > best {
+			best, src = d, v
+		}
+	}
+	bsp, err := BFS(g, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := graphct.BFS(g, src, nil)
+	// Frontier sizes agree with the shared-memory BFS levels.
+	if len(bsp.FrontierPerStep) != len(ct.FrontierSizes) {
+		t.Fatalf("levels: %d vs %d", len(bsp.FrontierPerStep), len(ct.FrontierSizes))
+	}
+	for i := range ct.FrontierSizes {
+		if bsp.FrontierPerStep[i] != ct.FrontierSizes[i] {
+			t.Fatalf("level %d: frontier %d vs %d", i, bsp.FrontierPerStep[i], ct.FrontierSizes[i])
+		}
+	}
+	// Messages in superstep s = edges incident on the level-s frontier.
+	for s := 0; s < len(ct.EdgesScanned) && s < len(bsp.MessagesPerStep); s++ {
+		if bsp.MessagesPerStep[s] != ct.EdgesScanned[s] {
+			t.Fatalf("superstep %d: messages %d != frontier edges %d",
+				s, bsp.MessagesPerStep[s], ct.EdgesScanned[s])
+		}
+		if s+1 < len(bsp.FrontierPerStep) && bsp.MessagesPerStep[s] < bsp.FrontierPerStep[s+1] {
+			t.Fatalf("superstep %d: messages %d < next frontier %d",
+				s, bsp.MessagesPerStep[s], bsp.FrontierPerStep[s+1])
+		}
+	}
+	// Aggregate message excess: every frontier vertex messages all of its
+	// neighbors, so total messages track total frontier-incident edges —
+	// an order of magnitude above the frontier itself on an edge-factor-16
+	// graph (Figure 2's gap).
+	var totalMsgs, totalFrontier int64
+	for _, m := range bsp.MessagesPerStep {
+		totalMsgs += m
+	}
+	for _, f := range bsp.FrontierPerStep {
+		totalFrontier += f
+	}
+	if totalMsgs < 5*totalFrontier {
+		t.Fatalf("total messages %d not >> total frontier %d", totalMsgs, totalFrontier)
+	}
+}
+
+func TestBSPBFSDistanceEdgeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int64(nRaw%40) + 2
+		g := randomGraph(seed, n, int(mRaw%120))
+		res, err := BFS(g, 0, nil)
+		if err != nil {
+			return false
+		}
+		for v := int64(0); v < n; v++ {
+			for _, w := range g.Neighbors(v) {
+				dv, dw := res.Dist[v], res.Dist[w]
+				if (dv < 0) != (dw < 0) {
+					return false
+				}
+				if dv >= 0 && (dv-dw > 1 || dw-dv > 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPTrianglesKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"K4", gen.Complete(4), 4},
+		{"K6", gen.Complete(6), 20},
+		{"ring", gen.Ring(12), 0},
+		{"cliquechain", gen.CliqueChain(3, 4), 12},
+	}
+	for _, c := range cases {
+		res, err := Triangles(c.g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != c.want {
+			t.Fatalf("%s: bsp triangles = %d, want %d", c.name, res.Count, c.want)
+		}
+		// Triangle-bearing graphs need the full 4 supersteps (notification
+		// delivery); triangle-free runs terminate one step earlier.
+		wantSteps := 4
+		if c.want == 0 {
+			wantSteps = 3
+		}
+		if res.Supersteps != wantSteps {
+			t.Fatalf("%s: supersteps = %d, want %d", c.name, res.Supersteps, wantSteps)
+		}
+	}
+}
+
+func TestBSPTrianglesMatchGraphCTProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int64(nRaw%25) + 3
+		g := randomGraph(seed, n, int(mRaw%100))
+		bsp, err := Triangles(g, nil)
+		if err != nil {
+			return false
+		}
+		return bsp.Count == graphct.Triangles(g, nil).Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPTrianglesMessageBlowup(t *testing.T) {
+	// The candidate messages of superstep 1 must dwarf the triangle count
+	// on a sparse graph (5.5e9 vs 30.9M in the paper — which notes its
+	// RMAT input "contains far fewer triangles than a real-world graph").
+	g, err := gen.ErdosRenyi(1<<12, 1<<15, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Triangles(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 {
+		t.Skip("degenerate sample with no triangles")
+	}
+	if res.CandidateMessages < 50*res.Count {
+		t.Fatalf("candidates %d not >> triangles %d", res.CandidateMessages, res.Count)
+	}
+	// Total BSP writes (messages) vastly exceed GraphCT's one write per
+	// triangle.
+	ct := graphct.Triangles(g, nil)
+	if res.TotalMessages < 50*ct.Writes {
+		t.Fatalf("bsp writes %d vs graphct %d: blowup too small", res.TotalMessages, ct.Writes)
+	}
+	// On the skewed RMAT input the blowup is smaller at small scale but
+	// must still be a multiple.
+	rm, err := gen.RMAT(gen.RMATConfig{Scale: 11, EdgeFactor: 8, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := Triangles(rm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Count > 0 && rres.CandidateMessages < 2*rres.Count {
+		t.Fatalf("rmat candidates %d vs triangles %d", rres.CandidateMessages, rres.Count)
+	}
+}
+
+func TestStreamingTrianglesMatchesEngine(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 40, 160)
+		eng, err := Triangles(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		str := StreamingTriangles(g, nil)
+		if eng.Count != str.Count {
+			t.Fatalf("seed %d: count %d vs %d", seed, eng.Count, str.Count)
+		}
+		if eng.CandidateMessages != str.CandidateMessages {
+			t.Fatalf("seed %d: candidates %d vs %d", seed, eng.CandidateMessages, str.CandidateMessages)
+		}
+		if eng.TotalMessages != str.TotalMessages {
+			t.Fatalf("seed %d: total messages %d vs %d", seed, eng.TotalMessages, str.TotalMessages)
+		}
+		for s := range eng.MessagesPerStep {
+			if eng.MessagesPerStep[s] != str.MessagesPerStep[s] {
+				t.Fatalf("seed %d step %d: %v vs %v", seed, s, eng.MessagesPerStep, str.MessagesPerStep)
+			}
+		}
+	}
+}
+
+func TestStreamingTrianglesProfileMatchesEngine(t *testing.T) {
+	g := gen.CliqueChain(4, 5)
+	engRec := trace.NewRecorder()
+	if _, err := Triangles(g, engRec); err != nil {
+		t.Fatal(err)
+	}
+	strRec := trace.NewRecorder()
+	StreamingTriangles(g, strRec)
+	engPh := engRec.PhasesNamed("bsp/superstep")
+	strPh := strRec.PhasesNamed("bsp/superstep")
+	if len(engPh) != len(strPh) {
+		t.Fatalf("phase counts: %d vs %d", len(engPh), len(strPh))
+	}
+	for i := range engPh {
+		e, s := engPh[i], strPh[i]
+		if e.Loads != s.Loads || e.Stores != s.Stores || e.Issue != s.Issue {
+			t.Fatalf("superstep %d: engine {%d %d %d} vs streaming {%d %d %d}",
+				i, e.Issue, e.Loads, e.Stores, s.Issue, s.Loads, s.Stores)
+		}
+		if e.Hot != s.Hot {
+			t.Fatalf("superstep %d: hot %v vs %v", i, e.Hot, s.Hot)
+		}
+		if e.Tasks != s.Tasks {
+			t.Fatalf("superstep %d: tasks %d vs %d", i, e.Tasks, s.Tasks)
+		}
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := rng.New(seed)
+		n := int64(40)
+		m := 120
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int64(r.Uint64n(uint64(n))), V: int64(r.Uint64n(uint64(n)))}
+		}
+		weights := gen.UniformWeights(m, 9, seed)
+		g, err := graph.Build(n, edges, graph.BuildOptions{SortAdjacency: true, Weights: weights})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsp, err := SSSP(g, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceSSSP(g, 0)
+		for v := range want {
+			if bsp.Dist[v] != want[v] {
+				t.Fatalf("seed %d: dist[%d] = %d, want %d", seed, v, bsp.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPUnweightedPanics(t *testing.T) {
+	g := gen.Ring(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unweighted graph")
+		}
+	}()
+	_, _ = SSSP(g, 0, nil)
+}
+
+func TestSSSPEqualsBFSOnUnitWeights(t *testing.T) {
+	g0 := randomGraph(5, 50, 120)
+	edges := g0.EdgeList()
+	weights := make([]int64, len(edges))
+	for i := range weights {
+		weights[i] = 1
+	}
+	g, err := graph.Build(g0.NumVertices(), edges, graph.BuildOptions{SortAdjacency: true, Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SSSP(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := BFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range sp.Dist {
+		if sp.Dist[v] != bfs.Dist[v] {
+			t.Fatalf("dist[%d]: sssp %d vs bfs %d", v, sp.Dist[v], bfs.Dist[v])
+		}
+	}
+}
+
+func TestBSPPageRankMatchesGraphCT(t *testing.T) {
+	g := randomGraph(8, 60, 200)
+	rounds := 40
+	bsp, err := PageRank(g, rounds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := graphct.PageRank(g, graphct.PageRankOptions{MaxIterations: rounds, Tolerance: 1e-14}, nil)
+	// The two formulations differ in dangling-mass handling; on a graph
+	// where every vertex has degree > 0 they coincide.
+	hasIsolated := false
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) == 0 {
+			hasIsolated = true
+		}
+	}
+	if hasIsolated {
+		t.Skip("sample has isolated vertices")
+	}
+	for v := range bsp.Rank {
+		if math.Abs(bsp.Rank[v]-ct.Rank[v]) > 1e-4 {
+			t.Fatalf("rank[%d]: bsp %v vs graphct %v", v, bsp.Rank[v], ct.Rank[v])
+		}
+	}
+}
+
+func TestBSPPageRankRingUniform(t *testing.T) {
+	res, err := PageRank(gen.Ring(10), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range res.Rank {
+		if math.Abs(r-0.1) > 1e-6 {
+			t.Fatalf("rank[%d] = %v", v, r)
+		}
+	}
+}
+
+func TestBFSUnreachableNormalized(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, graph.BuildOptions{SortAdjacency: true})
+	res, err := BFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[2] != -1 || res.Dist[3] != -1 {
+		t.Fatalf("dist = %v", res.Dist)
+	}
+	if res.Dist[1] != 1 {
+		t.Fatalf("dist[1] = %d", res.Dist[1])
+	}
+	// FrontierPerStep only covers reached levels.
+	if len(res.FrontierPerStep) != 2 || res.FrontierPerStep[0] != 1 || res.FrontierPerStep[1] != 1 {
+		t.Fatalf("frontier = %v", res.FrontierPerStep)
+	}
+}
+
+func TestSSSPBothModelsMatchDijkstra(t *testing.T) {
+	// The shared-memory Bellman-Ford kernel and the BSP program must agree
+	// with each other and with Dijkstra, and the BSP variant needs at
+	// least as many iterations (staleness, as with connected components).
+	for seed := uint64(0); seed < 8; seed++ {
+		r := rng.New(seed)
+		n := int64(50)
+		m := 160
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int64(r.Uint64n(uint64(n))), V: int64(r.Uint64n(uint64(n)))}
+		}
+		g, err := graph.Build(n, edges, graph.BuildOptions{
+			SortAdjacency: true, Weights: gen.UniformWeights(m, 9, seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceSSSP(g, 0)
+		bsp, err := SSSP(g, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := graphct.BellmanFordSSSP(g, 0, nil)
+		for v := range want {
+			if bsp.Dist[v] != want[v] {
+				t.Fatalf("seed %d: bsp dist[%d] = %d, want %d", seed, v, bsp.Dist[v], want[v])
+			}
+			if ct.Dist[v] != want[v] {
+				t.Fatalf("seed %d: bellman-ford dist[%d] = %d, want %d", seed, v, ct.Dist[v], want[v])
+			}
+		}
+		if bsp.Supersteps < ct.Iterations {
+			t.Fatalf("seed %d: bsp %d supersteps < shared-memory %d sweeps",
+				seed, bsp.Supersteps, ct.Iterations)
+		}
+	}
+}
+
+func TestBellmanFordUnweightedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	graphct.BellmanFordSSSP(gen.Ring(4), 0, nil)
+}
+
+func TestBellmanFordInvalidSource(t *testing.T) {
+	g, err := graph.Build(3, []graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{Weights: []int64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := graphct.BellmanFordSSSP(g, -1, nil)
+	for _, d := range res.Dist {
+		if d != -1 {
+			t.Fatal("invalid source should reach nothing")
+		}
+	}
+}
+
+func TestBSPApproxDiameterMatchesSharedMemory(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Path(10), gen.Ring(12), gen.Star(9), gen.BinaryTree(31),
+		randomGraph(4, 50, 200),
+	}
+	for i, g := range cases {
+		bsp, err := ApproxDiameter(g, 0, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := graphct.ApproxDiameter(g, 0, 4, nil)
+		if bsp != ct {
+			t.Fatalf("case %d: bsp diameter %d vs shared-memory %d", i, bsp, ct)
+		}
+	}
+	if d, err := ApproxDiameter(gen.Ring(4), -1, 4, nil); err != nil || d != -1 {
+		t.Fatalf("invalid start: %d, %v", d, err)
+	}
+}
+
+func TestMISValidOnKnownGraphs(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Ring(10), gen.Star(9), gen.Complete(7), gen.Path(11),
+		gen.BinaryTree(31), gen.CliqueChain(3, 5), gen.Grid(5, 5),
+	}
+	for i, g := range cases {
+		res, err := MaximalIndependentSet(g, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ValidateMIS(g, res.InSet) {
+			t.Fatalf("case %d: invalid MIS", i)
+		}
+		// Greedy reference also validates (sanity on the validator).
+		if !ValidateMIS(g, GreedyMIS(g)) {
+			t.Fatalf("case %d: greedy MIS invalid", i)
+		}
+	}
+	// K7: any MIS has exactly one member.
+	res, err := MaximalIndependentSet(gen.Complete(7), 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := 0
+	for _, in := range res.InSet {
+		if in {
+			members++
+		}
+	}
+	if members != 1 {
+		t.Fatalf("K7 MIS has %d members", members)
+	}
+}
+
+func TestMISProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int64(nRaw%40) + 1
+		g := randomGraph(seed, n, int(mRaw%150))
+		res, err := MaximalIndependentSet(g, seed^0xabc, nil)
+		if err != nil {
+			return false
+		}
+		return ValidateMIS(g, res.InSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISDeterministicAndFast(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 11, EdgeFactor: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MaximalIndependentSet(g, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaximalIndependentSet(g, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatal("MIS not deterministic")
+		}
+	}
+	if !ValidateMIS(g, a.InSet) {
+		t.Fatal("invalid MIS on RMAT")
+	}
+	// Luby converges in O(log n) rounds with high probability.
+	if a.Rounds > 20 {
+		t.Fatalf("rounds = %d, expected O(log n)", a.Rounds)
+	}
+	// Different seeds generally give different sets.
+	c, err := MaximalIndependentSet(g, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := range a.InSet {
+		if a.InSet[v] != c.InSet[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("warning: identical MIS across seeds (possible but unlikely)")
+	}
+}
+
+func TestValidateMISCatchesViolations(t *testing.T) {
+	g := gen.Path(4) // 0-1-2-3
+	// Adjacent members: not independent.
+	if ValidateMIS(g, []bool{true, true, false, false}) {
+		t.Fatal("validator accepted adjacent members")
+	}
+	// Not maximal: vertex 3 uncovered.
+	if ValidateMIS(g, []bool{true, false, false, false}) {
+		t.Fatal("validator accepted non-maximal set")
+	}
+	// Valid: {0, 2} covers everything... 3 is adjacent to 2.
+	if !ValidateMIS(g, []bool{true, false, true, false}) {
+		t.Fatal("validator rejected a valid MIS")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import "graphxmt/internal/graph"
+
+// engineState is the per-run state shared by all VertexContext calls.
+type engineState struct {
+	graph      *graph.Graph
+	costs      CostSchedule
+	states     []int64
+	superstep  int
+	sendBuf    []Message
+	sent       int64
+	aggregates map[string]*aggregator
+	// prevAggregates snapshots the aggregators as of the end of the
+	// previous superstep (Pregel semantics: a value aggregated in
+	// superstep s is visible to every vertex in superstep s+1).
+	prevAggregates map[string]int64
+
+	// extra* accumulate Charge calls within one superstep.
+	extraIssue, extraLoads, extraStores int64
+}
+
+type aggregator struct {
+	value  int64
+	reduce func(a, b int64) int64
+	seeded bool
+}
+
+// VertexContext is the view a vertex program gets of one vertex during one
+// superstep: its identity, state, incoming messages, and the operations the
+// BSP model permits (local computation, sending, voting to halt).
+type VertexContext struct {
+	engine *engineState
+	id     int64
+	msgs   []int64
+	halt   bool
+}
+
+// ID returns the vertex's identifier.
+func (v *VertexContext) ID() int64 { return v.id }
+
+// Superstep returns the current superstep number, starting at 0.
+func (v *VertexContext) Superstep() int { return v.engine.superstep }
+
+// State returns the vertex's current state.
+func (v *VertexContext) State() int64 { return v.engine.states[v.id] }
+
+// SetState replaces the vertex's state.
+func (v *VertexContext) SetState(s int64) { v.engine.states[v.id] = s }
+
+// Messages returns the messages received this superstep (sent during the
+// previous superstep). The slice is read-only and valid only within
+// Compute.
+func (v *VertexContext) Messages() []int64 { return v.msgs }
+
+// Degree returns the vertex's out-degree.
+func (v *VertexContext) Degree() int64 { return v.engine.graph.Degree(v.id) }
+
+// Neighbors returns the vertex's adjacency list ("the vertex implicitly
+// knows its neighbors"). Read-only.
+func (v *VertexContext) Neighbors() []int64 { return v.engine.graph.Neighbors(v.id) }
+
+// NeighborWeights returns the edge weights parallel to Neighbors. It
+// panics on unweighted graphs, like graph.Graph.NeighborWeights.
+func (v *VertexContext) NeighborWeights() []int64 {
+	return v.engine.graph.NeighborWeights(v.id)
+}
+
+// HasNeighbor reports whether w is adjacent to this vertex (binary search
+// on sorted graphs). The membership loads it implies must be charged via
+// Charge by programs that care about fidelity.
+func (v *VertexContext) HasNeighbor(w int64) bool {
+	return v.engine.graph.HasEdge(v.id, w)
+}
+
+// Charge records algorithm-specific work beyond the engine's fixed
+// per-vertex and per-message costs — e.g. the adjacency scans of the
+// triangle counting program. The charges are added to the current
+// superstep's phase.
+func (v *VertexContext) Charge(issue, loads, stores int64) {
+	v.engine.extraIssue += issue
+	v.engine.extraLoads += loads
+	v.engine.extraStores += stores
+}
+
+// NumVertices returns the graph's vertex count.
+func (v *VertexContext) NumVertices() int64 { return v.engine.graph.NumVertices() }
+
+// Send sends value to vertex dest, to be received next superstep. A vertex
+// may send to any vertex it can identify, not only neighbors.
+func (v *VertexContext) Send(dest, value int64) {
+	v.engine.sendBuf = append(v.engine.sendBuf, Message{Dest: dest, Value: value})
+	v.engine.sent++
+}
+
+// SendToNeighbors sends value to every neighbor.
+func (v *VertexContext) SendToNeighbors(value int64) {
+	for _, w := range v.Neighbors() {
+		v.Send(w, value)
+	}
+}
+
+// VoteToHalt marks the vertex inactive; it will not run again until a
+// message arrives for it.
+func (v *VertexContext) VoteToHalt() { v.halt = true }
+
+// Aggregate folds value into the named global aggregator with the given
+// reduction (registered on first use; subsequent calls must pass the same
+// semantic reduction). Aggregator values are visible in Result.Aggregates
+// after the run. Sum, Min and Max are provided as package helpers.
+func (v *VertexContext) Aggregate(name string, value int64, reduce func(a, b int64) int64) {
+	if v.engine.aggregates == nil {
+		v.engine.aggregates = map[string]*aggregator{}
+	}
+	agg, ok := v.engine.aggregates[name]
+	if !ok {
+		agg = &aggregator{reduce: reduce}
+		v.engine.aggregates[name] = agg
+	}
+	if !agg.seeded {
+		agg.value = value
+		agg.seeded = true
+		return
+	}
+	agg.value = agg.reduce(agg.value, value)
+}
+
+// PreviousAggregate returns the value the named aggregator held at the end
+// of the previous superstep (Pregel's aggregator visibility rule), and
+// whether it existed. During superstep 0 nothing is visible.
+func (v *VertexContext) PreviousAggregate(name string) (int64, bool) {
+	val, ok := v.engine.prevAggregates[name]
+	return val, ok
+}
+
+// Sum is an aggregator reduction.
+func Sum(a, b int64) int64 { return a + b }
+
+// Min is an aggregator reduction (and the natural combiner for label
+// propagation algorithms).
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max is an aggregator reduction.
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

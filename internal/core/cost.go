@@ -1,0 +1,79 @@
+package core
+
+// CostSchedule describes what each engine operation costs on the simulated
+// Cray XMT, in the cost classes of package trace. The defaults model the
+// paper's implementation: a BSP layer written in XMT-C on top of GraphCT
+// "without native support for message features such as enqueueing and
+// dequeueing", where message buffers are claimed with fetch-and-add and the
+// runtime scans every vertex's queue each superstep.
+//
+// The same schedule is used by the generic engine and by the streaming
+// triangle-counting evaluator (package bspalg), so their simulated times
+// agree by construction.
+type CostSchedule struct {
+	// ScanLoadsPerVertex is charged for every vertex in the graph at every
+	// superstep: the runtime inspects each vertex's message-queue head and
+	// halt flag to decide whether the vertex runs. This full scan is what
+	// makes the paper's early/late BSP iterations "two orders of magnitude"
+	// more expensive than their shared-memory counterparts.
+	ScanLoadsPerVertex int64
+
+	// ActiveIssuePerVertex and ActiveLoadsPerVertex are the dispatch cost
+	// of running one active vertex's Compute (state load, program
+	// dispatch, vote bookkeeping).
+	ActiveIssuePerVertex  int64
+	ActiveLoadsPerVertex  int64
+	ActiveStoresPerVertex int64
+
+	// RecvLoadsPerMsg and RecvIssuePerMsg are charged per message
+	// consumed from the inbox.
+	RecvLoadsPerMsg int64
+	RecvIssuePerMsg int64
+
+	// SendStoresPerMsg, SendLoadsPerMsg and SendIssuePerMsg are charged
+	// per message emitted: slot claim in the destination queue, payload
+	// write, bounds/branching.
+	SendStoresPerMsg int64
+	SendLoadsPerMsg  int64
+	SendIssuePerMsg  int64
+
+	// DeliverLoadsPerMsg and DeliverStoresPerMsg are the superstep-boundary
+	// message routing pass (the counting sort that turns the global send
+	// buffer into per-vertex inboxes).
+	DeliverLoadsPerMsg  int64
+	DeliverStoresPerMsg int64
+
+	// HotMsgChunk is the number of message slots allocated per
+	// fetch-and-add on the single global buffer cursor. One hotspot op is
+	// charged per chunk; smaller chunks mean more serialization — the
+	// mechanism the paper names when discussing BSP scalability limits.
+	HotMsgChunk int64
+}
+
+// DefaultCosts returns the cost schedule used by the experiments.
+func DefaultCosts() CostSchedule {
+	return CostSchedule{
+		ScanLoadsPerVertex:    2,
+		ActiveIssuePerVertex:  3,
+		ActiveLoadsPerVertex:  2,
+		ActiveStoresPerVertex: 1,
+		RecvLoadsPerMsg:       5,
+		RecvIssuePerMsg:       2,
+		SendStoresPerMsg:      10,
+		SendLoadsPerMsg:       5,
+		SendIssuePerMsg:       4,
+		DeliverLoadsPerMsg:    8,
+		DeliverStoresPerMsg:   3,
+		HotMsgChunk:           32,
+	}
+}
+
+// hotOps returns the number of global-cursor fetch-and-adds needed to
+// allocate slots for n messages.
+func (c CostSchedule) hotOps(n int64) int64 {
+	chunk := c.HotMsgChunk
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return (n + chunk - 1) / chunk
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"graphxmt/internal/core"
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graph"
+)
+
+// minFlood is the classic Pregel hello-world: flood the minimum vertex ID
+// through the graph. Each vertex keeps the smallest ID it has seen and
+// forwards improvements to its neighbors.
+type minFlood struct{}
+
+func (minFlood) InitialState(_ *graph.Graph, v int64) int64 { return v }
+
+func (minFlood) Compute(v *core.VertexContext) {
+	best := v.State()
+	for _, m := range v.Messages() {
+		if m < best {
+			best = m
+		}
+	}
+	if best < v.State() || v.Superstep() == 0 {
+		v.SetState(best)
+		v.SendToNeighbors(best)
+	}
+	v.VoteToHalt()
+}
+
+// Example demonstrates writing and running a vertex program: the minimum
+// vertex ID floods a ring one hop per superstep, so a 8-cycle needs
+// supersteps proportional to its radius.
+func Example() {
+	g := gen.Ring(8)
+	res, err := core.Run(core.Config{Graph: g, Program: minFlood{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("supersteps:", res.Supersteps)
+	fmt.Println("states:", res.States)
+	// Output:
+	// supersteps: 6
+	// states: [0 0 0 0 0 0 0 0]
+}
+
+// ExampleRun_combiner shows Pregel's combiner optimization: semantically
+// identical results with far fewer delivered messages.
+func ExampleRun_combiner() {
+	g := gen.Complete(6)
+	plain, err := core.Run(core.Config{Graph: g, Program: minFlood{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	combined, err := core.Run(core.Config{Graph: g, Program: minFlood{}, Combiner: core.Min})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same result:", plain.States[5] == combined.States[5])
+	fmt.Println("plain delivered:", plain.DeliveredPerStep[0])
+	fmt.Println("combined delivered:", combined.DeliveredPerStep[0])
+	// Output:
+	// same result: true
+	// plain delivered: 30
+	// combined delivered: 6
+}

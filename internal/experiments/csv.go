@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters for the figures, so the series can be re-plotted with any
+// external tool. One file per figure, one row per x-axis point, one column
+// per series — the layout gnuplot and pandas both ingest directly.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+func itoa(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// WriteFig1CSV emits Figure 1's per-iteration times: one row per
+// iteration, one column per (model, processor count) pair.
+func (r *Fig1Result) WriteFig1CSV(w io.Writer) error {
+	header := []string{"iteration"}
+	for _, p := range r.Procs {
+		header = append(header, fmt.Sprintf("bsp_%dp", p))
+	}
+	for _, p := range r.Procs {
+		header = append(header, fmt.Sprintf("graphct_%dp", p))
+	}
+	iters := len(r.BSP[0])
+	ctIters := len(r.GraphCT[0])
+	maxIter := iters
+	if ctIters > maxIter {
+		maxIter = ctIters
+	}
+	var rows [][]string
+	for it := 0; it < maxIter; it++ {
+		row := []string{strconv.Itoa(it)}
+		for pi := range r.Procs {
+			if it < iters {
+				row = append(row, ftoa(r.BSP[pi][it]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		for pi := range r.Procs {
+			if it < ctIters {
+				row = append(row, ftoa(r.GraphCT[pi][it]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteFig2CSV emits Figure 2: level, frontier, messages.
+func (r *Fig2Result) WriteFig2CSV(w io.Writer) error {
+	header := []string{"level", "frontier", "messages"}
+	var rows [][]string
+	for s := 0; s < len(r.Messages); s++ {
+		var f int64
+		if s < len(r.Frontier) {
+			f = r.Frontier[s]
+		}
+		rows = append(rows, []string{strconv.Itoa(s), itoa(f), itoa(r.Messages[s])})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteFig3CSV emits Figure 3: one row per (model, level), columns per
+// processor count.
+func (r *Fig3Result) WriteFig3CSV(w io.Writer) error {
+	header := []string{"model", "level"}
+	for _, p := range r.Procs {
+		header = append(header, fmt.Sprintf("t_%dp", p))
+	}
+	var rows [][]string
+	emit := func(model string, series [][]float64) {
+		for lvl, times := range series {
+			row := []string{model, strconv.Itoa(lvl)}
+			for _, t := range times {
+				row = append(row, ftoa(t))
+			}
+			rows = append(rows, row)
+		}
+	}
+	emit("bsp", r.BSP)
+	emit("graphct", r.GraphCT)
+	return writeCSV(w, header, rows)
+}
+
+// WriteFig4CSV emits Figure 4: procs, bsp, graphct.
+func (r *Fig4Result) WriteFig4CSV(w io.Writer) error {
+	header := []string{"procs", "bsp", "graphct"}
+	var rows [][]string
+	for i, p := range r.Procs {
+		rows = append(rows, []string{strconv.Itoa(p), ftoa(r.BSP[i]), ftoa(r.GraphCT[i])})
+	}
+	return writeCSV(w, header, rows)
+}

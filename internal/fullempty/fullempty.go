@@ -1,0 +1,162 @@
+// Package fullempty implements the Cray XMT's word-level synchronization
+// primitives in Go: every memory word carries a full/empty tag bit, and
+// loads/stores can wait on and toggle that bit atomically. The paper's
+// background section names these as the machine's fine-grained
+// synchronization constructs ("full-empty bits as well as atomic
+// fetch-and-add instructions"); GraphCT's hand-tuned kernels are written
+// against them.
+//
+// The semantics follow the MTA/XMT generic operations:
+//
+//	writeef   wait until EMPTY, write value, set FULL
+//	readfe    wait until FULL, read value, set EMPTY
+//	readff    wait until FULL, read value, leave FULL
+//	writexf   write value, set FULL (no wait)
+//	purge     set EMPTY, clear value
+//	int_fetch_add  atomic add returning the previous value (no tag change)
+//
+// On the real machine a waiting stream parks in hardware; here waiting
+// goroutines park on a condition variable. The package also provides the
+// classic XMT idioms built from these primitives: a lock, a bounded
+// multi-producer/multi-consumer queue with full/empty slot handoff, and an
+// open-addressing hash set whose slots are claimed with writeef (after
+// "Hashing strategies for the Cray XMT", Goodman et al., cited by the
+// paper).
+package fullempty
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Word is a single int64 memory cell with a full/empty tag. The zero value
+// is an empty cell holding 0 — like trap-on-load memory fresh from purge.
+type Word struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	val  int64
+	full bool
+}
+
+// NewFull returns a word initialized full with the given value.
+func NewFull(v int64) *Word {
+	w := &Word{val: v, full: true}
+	return w
+}
+
+func (w *Word) lazyInit() {
+	if w.cond == nil {
+		w.cond = sync.NewCond(&w.mu)
+	}
+}
+
+// WriteEF waits until the word is empty, writes v, and sets it full
+// (the XMT's writeef).
+func (w *Word) WriteEF(v int64) {
+	w.mu.Lock()
+	w.lazyInit()
+	for w.full {
+		w.cond.Wait()
+	}
+	w.val = v
+	w.full = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// ReadFE waits until the word is full, reads it, and sets it empty
+// (the XMT's readfe).
+func (w *Word) ReadFE() int64 {
+	w.mu.Lock()
+	w.lazyInit()
+	for !w.full {
+		w.cond.Wait()
+	}
+	v := w.val
+	w.full = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return v
+}
+
+// ReadFF waits until the word is full and reads it, leaving it full
+// (the XMT's readff).
+func (w *Word) ReadFF() int64 {
+	w.mu.Lock()
+	w.lazyInit()
+	for !w.full {
+		w.cond.Wait()
+	}
+	v := w.val
+	w.mu.Unlock()
+	return v
+}
+
+// WriteXF writes v and sets the word full regardless of its state
+// (the XMT's writexf).
+func (w *Word) WriteXF(v int64) {
+	w.mu.Lock()
+	w.lazyInit()
+	w.val = v
+	w.full = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Purge empties the word and zeroes its value (the XMT's purge).
+func (w *Word) Purge() {
+	w.mu.Lock()
+	w.lazyInit()
+	w.val = 0
+	w.full = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// TryReadFE attempts a non-blocking readfe, reporting success.
+func (w *Word) TryReadFE() (int64, bool) {
+	w.mu.Lock()
+	w.lazyInit()
+	if !w.full {
+		w.mu.Unlock()
+		return 0, false
+	}
+	v := w.val
+	w.full = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return v, true
+}
+
+// Full reports the tag bit (racy by nature, like inspecting it on the
+// machine; useful in tests).
+func (w *Word) Full() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.full
+}
+
+// FetchAdd is the XMT's int_fetch_add on an ordinary (untagged) word:
+// atomic add, returning the previous value.
+func FetchAdd(addr *int64, delta int64) int64 {
+	return atomic.AddInt64(addr, delta) - delta
+}
+
+// Lock is the canonical XMT lock idiom: a full word is unlocked; readfe
+// acquires (leaving it empty so others wait), writeef releases.
+type Lock struct {
+	w Word
+	o sync.Once
+}
+
+// Acquire takes the lock.
+func (l *Lock) Acquire() {
+	l.o.Do(func() { l.w.WriteXF(1) })
+	l.w.ReadFE()
+}
+
+// Release returns the lock. Releasing an unheld lock blocks, like the real
+// idiom misused.
+func (l *Lock) Release() {
+	l.w.WriteEF(1)
+}

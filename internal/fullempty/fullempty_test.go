@@ -1,0 +1,419 @@
+package fullempty
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWordBasics(t *testing.T) {
+	var w Word
+	if w.Full() {
+		t.Fatal("zero word should be empty")
+	}
+	w.WriteEF(7)
+	if !w.Full() {
+		t.Fatal("writeef should set full")
+	}
+	if v := w.ReadFF(); v != 7 {
+		t.Fatalf("readff = %d", v)
+	}
+	if !w.Full() {
+		t.Fatal("readff must leave the word full")
+	}
+	if v := w.ReadFE(); v != 7 {
+		t.Fatalf("readfe = %d", v)
+	}
+	if w.Full() {
+		t.Fatal("readfe must empty the word")
+	}
+}
+
+func TestWriteXFAndPurge(t *testing.T) {
+	w := NewFull(3)
+	w.WriteXF(9) // overwrite while full
+	if v := w.ReadFF(); v != 9 {
+		t.Fatalf("got %d", v)
+	}
+	w.Purge()
+	if w.Full() {
+		t.Fatal("purge should empty")
+	}
+	if _, ok := w.TryReadFE(); ok {
+		t.Fatal("tryreadfe on empty should fail")
+	}
+	w.WriteXF(4)
+	if v, ok := w.TryReadFE(); !ok || v != 4 {
+		t.Fatalf("tryreadfe = %d, %v", v, ok)
+	}
+}
+
+func TestReadFEBlocksUntilWrite(t *testing.T) {
+	var w Word
+	got := make(chan int64, 1)
+	go func() { got <- w.ReadFE() }()
+	select {
+	case <-got:
+		t.Fatal("readfe returned before any write")
+	case <-time.After(10 * time.Millisecond):
+	}
+	w.WriteEF(42)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("readfe = %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("readfe never woke")
+	}
+}
+
+func TestWriteEFBlocksUntilEmpty(t *testing.T) {
+	w := NewFull(1)
+	done := make(chan struct{})
+	go func() {
+		w.WriteEF(2)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("writeef returned while full")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if v := w.ReadFE(); v != 1 {
+		t.Fatalf("readfe = %d", v)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("writeef never woke")
+	}
+	if v := w.ReadFF(); v != 2 {
+		t.Fatalf("second value = %d", v)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Two goroutines pass a token back and forth through a pair of words.
+	var a, b Word
+	const rounds = 1000
+	final := make(chan int64, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			v := a.ReadFE()
+			b.WriteEF(v + 1)
+		}
+	}()
+	go func() {
+		a.WriteEF(0)
+		for i := 0; i < rounds-1; i++ {
+			v := b.ReadFE()
+			a.WriteEF(v + 1)
+		}
+		final <- b.ReadFE()
+	}()
+	// Each hop adds 1; total hops = 2*rounds - 1.
+	if sum := <-final; sum != 2*rounds-1 {
+		t.Fatalf("final token = %d, want %d", sum, 2*rounds-1)
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	var x int64
+	if prev := FetchAdd(&x, 5); prev != 0 {
+		t.Fatalf("prev = %d", prev)
+	}
+	if prev := FetchAdd(&x, 3); prev != 5 {
+		t.Fatalf("prev = %d", prev)
+	}
+	if x != 8 {
+		t.Fatalf("x = %d", x)
+	}
+}
+
+func TestFetchAddConcurrent(t *testing.T) {
+	var x int64
+	var wg sync.WaitGroup
+	seen := make([]bool, 8*1000)
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				prev := FetchAdd(&x, 1)
+				mu.Lock()
+				if seen[prev] {
+					t.Errorf("ticket %d issued twice", prev)
+				}
+				seen[prev] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if x != 8000 {
+		t.Fatalf("x = %d", x)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	var l Lock
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Acquire()
+				counter++ // protected by the full/empty lock
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 4000 {
+		t.Fatalf("counter = %d, want 4000 (lost updates => broken lock)", counter)
+	}
+}
+
+func TestQueueFIFOSingleThread(t *testing.T) {
+	q := NewQueue(4)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Enqueue(3)
+	for want := int64(1); want <= 3; want++ {
+		if got := q.Dequeue(); got != want {
+			t.Fatalf("dequeue = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	q := NewQueue(2)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(3) // must wait for a dequeue
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("enqueue succeeded past capacity")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if q.Dequeue() != 1 {
+		t.Fatal("fifo order broken")
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("enqueue never unblocked")
+	}
+}
+
+func TestQueueMPMCStress(t *testing.T) {
+	q := NewQueue(16)
+	const producers, perProducer = 4, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(int64(p*perProducer + i))
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int64]bool, producers*perProducer)
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for i := 0; i < producers*perProducer/4; i++ {
+				v := q.Dequeue()
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d consumed twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestQueueInvalidCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+func TestHashSetBasics(t *testing.T) {
+	h := NewHashSet(100)
+	added, err := h.Insert(42)
+	if err != nil || !added {
+		t.Fatalf("insert: %v, %v", added, err)
+	}
+	added, err = h.Insert(42)
+	if err != nil || added {
+		t.Fatalf("duplicate insert: %v, %v", added, err)
+	}
+	if !h.Contains(42) || h.Contains(43) {
+		t.Fatal("contains wrong")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if _, err := h.Insert(-1); err == nil {
+		t.Fatal("negative key should error")
+	}
+}
+
+func TestHashSetFillsAndErrors(t *testing.T) {
+	h := NewHashSet(4) // capacity 16 slots
+	inserted := 0
+	var lastErr error
+	for k := int64(0); k < 100; k++ {
+		added, err := h.Insert(k)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		if added {
+			inserted++
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("expected capacity error")
+	}
+	if inserted != h.Capacity() {
+		t.Fatalf("inserted %d, capacity %d", inserted, h.Capacity())
+	}
+}
+
+func TestHashSetConcurrentInsert(t *testing.T) {
+	const keys = 4000
+	h := NewHashSet(keys)
+	var added int64
+	var wg sync.WaitGroup
+	// Every key inserted from two goroutines; exactly one must win.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := int64(0); k < keys; k++ {
+				ok, err := h.Insert(k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					FetchAdd(&added, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if added != keys {
+		t.Fatalf("added = %d, want %d (duplicate or lost claims)", added, keys)
+	}
+	for k := int64(0); k < keys; k++ {
+		if !h.Contains(k) {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	if h.Len() != keys {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func BenchmarkFetchAdd(b *testing.B) {
+	var x int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			FetchAdd(&x, 1)
+		}
+	})
+}
+
+func BenchmarkQueuePingPong(b *testing.B) {
+	q := NewQueue(64)
+	go func() {
+		for {
+			q.Enqueue(1)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Dequeue()
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const workers, rounds = 6, 50
+	b := NewBarrier(workers)
+	var counter int64
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				FetchAdd(&counter, 1)
+				b.Wait()
+				// After the barrier every worker's increment for this
+				// round is visible.
+				if got := counter; got < int64((r+1)*workers) {
+					errs <- fmtError("round %d: counter %d < %d", r, got, (r+1)*workers)
+					return
+				}
+				b.Wait() // second barrier so no one races ahead a round
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counter != workers*rounds {
+		t.Fatalf("counter = %d, want %d", counter, workers*rounds)
+	}
+}
+
+func fmtError(format string, args ...interface{}) error {
+	return &barrierErr{msg: format, args: args}
+}
+
+type barrierErr struct {
+	msg  string
+	args []interface{}
+}
+
+func (e *barrierErr) Error() string { return e.msg }
+
+func TestBarrierInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"graphxmt/internal/par"
+)
+
+// BuildOptions controls edge-list to CSR conversion.
+type BuildOptions struct {
+	// Directed selects a directed graph: each input edge becomes exactly
+	// one adjacency entry U->V. When false (the default, matching the
+	// paper's undirected RMAT inputs), each edge is stored in both
+	// directions.
+	Directed bool
+	// KeepSelfLoops retains U==V edges. GraphCT kernels assume self-loops
+	// are removed, so the default drops them.
+	KeepSelfLoops bool
+	// KeepDuplicates retains parallel edges. RMAT naturally generates
+	// duplicates; the default collapses them, as the Graph500 reference
+	// does before kernel timing.
+	KeepDuplicates bool
+	// SortAdjacency sorts every adjacency list ascending. Required by the
+	// triangle counting kernels; cheap enough to be the default.
+	SortAdjacency bool
+	// Weights optionally supplies one weight per input edge (parallel to
+	// the edge slice). Nil builds an unweighted graph. Duplicate collapse
+	// keeps the minimum weight of a duplicate group.
+	Weights []int64
+}
+
+// Build converts an edge list into a CSR Graph over vertices [0, n).
+// Edges referencing vertices outside [0, n) are rejected.
+func Build(n int64, edges []Edge, opt BuildOptions) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if opt.Weights != nil && len(opt.Weights) != len(edges) {
+		return nil, fmt.Errorf("graph: %d weights for %d edges", len(opt.Weights), len(edges))
+	}
+	for i, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
+		}
+	}
+
+	// Materialize the directed entry list (possibly symmetrized), dropping
+	// self-loops unless kept.
+	type entry struct {
+		u, v, w int64
+	}
+	entries := make([]entry, 0, len(edges)*2)
+	for i, e := range edges {
+		if e.U == e.V && !opt.KeepSelfLoops {
+			continue
+		}
+		var w int64
+		if opt.Weights != nil {
+			w = opt.Weights[i]
+		}
+		entries = append(entries, entry{e.U, e.V, w})
+		if !opt.Directed && e.U != e.V {
+			entries = append(entries, entry{e.V, e.U, w})
+		}
+	}
+	// A kept self-loop on an undirected graph is stored once (degree
+	// contribution 1), matching GraphCT's convention.
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].u != entries[j].u {
+			return entries[i].u < entries[j].u
+		}
+		if entries[i].v != entries[j].v {
+			return entries[i].v < entries[j].v
+		}
+		return entries[i].w < entries[j].w
+	})
+
+	if !opt.KeepDuplicates {
+		out := entries[:0]
+		for _, e := range entries {
+			if len(out) > 0 && out[len(out)-1].u == e.u && out[len(out)-1].v == e.v {
+				continue // keep first = minimum weight due to sort order
+			}
+			out = append(out, e)
+		}
+		entries = out
+	}
+
+	g := &Graph{
+		n:        n,
+		directed: opt.Directed,
+		sorted:   true, // entries are sorted by (u, v)
+		offsets:  make([]int64, n+1),
+		adj:      make([]int64, len(entries)),
+	}
+	if opt.Weights != nil {
+		g.weights = make([]int64, len(entries))
+	}
+	counts := make([]int64, n)
+	for _, e := range entries {
+		counts[e.u]++
+	}
+	par.ExclusivePrefixSum(counts)
+	copy(g.offsets, counts)
+	g.offsets[n] = int64(len(entries))
+	for i, e := range entries {
+		g.adj[i] = e.v
+		if g.weights != nil {
+			g.weights[i] = e.w
+		}
+	}
+	if !opt.SortAdjacency {
+		g.sorted = sortedByConstruction(entries)
+	}
+	return g, nil
+}
+
+// sortedByConstruction reports true because Build always emits entries in
+// (u, v) order; kept for clarity if construction order ever changes.
+func sortedByConstruction(_ interface{}) bool { return true }
+
+// MustBuild is Build but panics on error; convenient in tests and examples
+// with known-good inputs.
+func MustBuild(n int64, edges []Edge, opt BuildOptions) *Graph {
+	g, err := Build(n, edges, opt)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromCSR constructs a Graph directly from CSR arrays, taking ownership of
+// the slices. It validates the structure.
+func FromCSR(n int64, offsets, adj []int64, weights []int64, directed bool) (*Graph, error) {
+	g := &Graph{n: n, offsets: offsets, adj: adj, weights: weights, directed: directed}
+	// Validate the raw shape before touching Neighbors, which indexes
+	// through offsets.
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.sorted = true
+	for v := int64(0); v < n && g.sorted; v++ {
+		nbr := g.Neighbors(v)
+		for i := 1; i < len(nbr); i++ {
+			if nbr[i-1] > nbr[i] {
+				g.sorted = false
+				break
+			}
+		}
+	}
+	return g, nil
+}
+
+// Transpose returns the graph with every directed entry reversed. For an
+// undirected graph it returns a structurally equal copy.
+func (g *Graph) Transpose() *Graph {
+	t := &Graph{
+		n:        g.n,
+		directed: g.directed,
+		offsets:  make([]int64, g.n+1),
+		adj:      make([]int64, len(g.adj)),
+	}
+	if g.weights != nil {
+		t.weights = make([]int64, len(g.weights))
+	}
+	counts := make([]int64, g.n)
+	for _, w := range g.adj {
+		counts[w]++
+	}
+	par.ExclusivePrefixSum(counts)
+	copy(t.offsets, counts)
+	t.offsets[g.n] = int64(len(g.adj))
+	next := make([]int64, g.n)
+	copy(next, t.offsets[:g.n])
+	for v := int64(0); v < g.n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			w := g.adj[i]
+			pos := next[w]
+			next[w]++
+			t.adj[pos] = v
+			if t.weights != nil {
+				t.weights[pos] = g.weights[i]
+			}
+		}
+	}
+	t.sortAdjacencyInPlace()
+	return t
+}
+
+// InducedSubgraph extracts the subgraph induced by the given vertices,
+// which are relabeled 0..len(vertices)-1 in the order supplied. Duplicate
+// vertices are rejected.
+func (g *Graph) InducedSubgraph(vertices []int64) (*Graph, map[int64]int64, error) {
+	relabel := make(map[int64]int64, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph: subgraph vertex %d out of range", v)
+		}
+		if _, dup := relabel[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate subgraph vertex %d", v)
+		}
+		relabel[v] = int64(i)
+	}
+	var edges []Edge
+	var weights []int64
+	for _, v := range vertices {
+		nv := relabel[v]
+		nbr := g.Neighbors(v)
+		for i, w := range nbr {
+			nw, ok := relabel[w]
+			if !ok {
+				continue
+			}
+			if !g.directed && nv > nw {
+				continue // count undirected edges once
+			}
+			edges = append(edges, Edge{nv, nw})
+			if g.weights != nil {
+				weights = append(weights, g.NeighborWeights(v)[i])
+			}
+		}
+	}
+	opt := BuildOptions{
+		Directed:      g.directed,
+		SortAdjacency: true,
+		KeepSelfLoops: true, // already filtered by the source graph's policy
+	}
+	if g.weights != nil {
+		opt.Weights = weights
+	}
+	sub, err := Build(int64(len(vertices)), edges, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, relabel, nil
+}
+
+// sortAdjacencyInPlace sorts each adjacency list (with weights, if any).
+func (g *Graph) sortAdjacencyInPlace() {
+	par.For(int(g.n), func(vi int) {
+		v := int64(vi)
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		if g.weights == nil {
+			s := g.adj[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			return
+		}
+		a, w := g.adj[lo:hi], g.weights[lo:hi]
+		idx := make([]int, len(a))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return a[idx[i]] < a[idx[j]] })
+		na := make([]int64, len(a))
+		nw := make([]int64, len(w))
+		for i, k := range idx {
+			na[i], nw[i] = a[k], w[k]
+		}
+		copy(a, na)
+		copy(w, nw)
+	})
+	g.sorted = true
+}
+
+// EdgeList returns the graph's edges as an edge list. Undirected edges are
+// emitted once with U <= V; directed entries are emitted as stored.
+func (g *Graph) EdgeList() []Edge {
+	var out []Edge
+	for v := int64(0); v < g.n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if g.directed || v <= w {
+				out = append(out, Edge{v, w})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package graph provides the in-memory graph representation shared by every
+// kernel in graphxmt: a compressed sparse row (CSR) structure equivalent to
+// GraphCT's single, read-only graph data representation. The paper's two
+// programming models (GraphCT shared-memory kernels and the BSP engine) both
+// operate on this structure, exactly as the paper implements its BSP
+// variants "with GraphCT in order to obtain a comparison with fewer
+// variables".
+//
+// Vertices are identified by int64 IDs in [0, NumVertices()). Undirected
+// graphs store each edge in both adjacency lists; NumEdges reports the
+// number of stored (directed) entries, and UndirectedEdges reports
+// NumEdges/2 for undirected graphs.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is one endpoint pair of an edge list. For undirected graphs an edge
+// should appear once in the list; Build symmetrizes it.
+type Edge struct {
+	U, V int64
+}
+
+// Graph is an immutable CSR graph. The zero value is an empty graph.
+type Graph struct {
+	n        int64
+	offsets  []int64 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj      []int64
+	weights  []int64 // nil for unweighted; else parallel to adj
+	directed bool
+	sorted   bool // every adjacency list is ascending
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int64 { return g.n }
+
+// NumEdges returns the number of stored directed adjacency entries. For an
+// undirected graph this is twice the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) }
+
+// UndirectedEdges returns the number of undirected edges (NumEdges/2) for
+// undirected graphs, and NumEdges for directed graphs.
+func (g *Graph) UndirectedEdges() int64 {
+	if g.directed {
+		return g.NumEdges()
+	}
+	return g.NumEdges() / 2
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// SortedAdjacency reports whether every adjacency list is in ascending
+// order (required by the intersection-based triangle counting kernels).
+func (g *Graph) SortedAdjacency() bool { return g.sorted }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int64) int64 {
+	return g.offsets[v+1] - g.offsets[v]
+}
+
+// Neighbors returns the adjacency list of v as a shared, read-only slice.
+// Callers must not modify it.
+func (g *Graph) Neighbors(v int64) []int64 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborWeights returns the weights parallel to Neighbors(v). It panics
+// on unweighted graphs.
+func (g *Graph) NeighborWeights(v int64) []int64 {
+	if g.weights == nil {
+		panic("graph: NeighborWeights on unweighted graph")
+	}
+	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the directed entry u->v is stored. O(log d) on
+// sorted graphs, O(d) otherwise.
+func (g *Graph) HasEdge(u, v int64) bool {
+	nbr := g.Neighbors(u)
+	if g.sorted {
+		i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
+		return i < len(nbr) && nbr[i] == v
+	}
+	for _, w := range nbr {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Offsets exposes the CSR row offsets (len NumVertices+1). Read-only.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
+// Adjacency exposes the flat adjacency array. Read-only.
+func (g *Graph) Adjacency() []int64 { return g.adj }
+
+// MaxDegree returns the maximum out-degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int64 {
+	var m int64
+	for v := int64(0); v < g.n; v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// DegreeHistogram returns counts of vertices per degree value, as a map
+// from degree to vertex count.
+func (g *Graph) DegreeHistogram() map[int64]int64 {
+	h := make(map[int64]int64)
+	for v := int64(0); v < g.n; v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Validate checks structural invariants and returns the first violation.
+func (g *Graph) Validate() error {
+	if g.n < 0 {
+		return errors.New("graph: negative vertex count")
+	}
+	if int64(len(g.offsets)) != g.n+1 {
+		return fmt.Errorf("graph: offsets len %d, want %d", len(g.offsets), g.n+1)
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if g.offsets[g.n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[g.n], len(g.adj))
+	}
+	for v := int64(0); v < g.n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets decrease at %d", v)
+		}
+	}
+	for i, w := range g.adj {
+		if w < 0 || w >= g.n {
+			return fmt.Errorf("graph: adj[%d] = %d out of range", i, w)
+		}
+	}
+	if g.weights != nil && len(g.weights) != len(g.adj) {
+		return fmt.Errorf("graph: weights len %d != adj len %d", len(g.weights), len(g.adj))
+	}
+	if g.sorted {
+		for v := int64(0); v < g.n; v++ {
+			nbr := g.Neighbors(v)
+			for i := 1; i < len(nbr); i++ {
+				if nbr[i-1] > nbr[i] {
+					return fmt.Errorf("graph: adjacency of %d not sorted", v)
+				}
+			}
+		}
+	}
+	if !g.directed {
+		if err := g.checkSymmetric(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Graph) checkSymmetric() error {
+	// Count-based symmetry check: multiset of (u,v) must equal multiset of
+	// (v,u). We verify via per-pair counting with a map on small graphs and
+	// via reverse-degree counting on large ones.
+	if g.NumEdges() <= 1<<20 {
+		count := make(map[Edge]int64, g.NumEdges())
+		for v := int64(0); v < g.n; v++ {
+			for _, w := range g.Neighbors(v) {
+				count[Edge{v, w}]++
+			}
+		}
+		for e, c := range count {
+			if count[Edge{e.V, e.U}] != c {
+				return fmt.Errorf("graph: asymmetric edge %d->%d", e.U, e.V)
+			}
+		}
+		return nil
+	}
+	inDeg := make([]int64, g.n)
+	for _, w := range g.adj {
+		inDeg[w]++
+	}
+	for v := int64(0); v < g.n; v++ {
+		if inDeg[v] != g.Degree(v) {
+			return fmt.Errorf("graph: vertex %d in-degree %d != out-degree %d",
+				v, inDeg[v], g.Degree(v))
+		}
+	}
+	return nil
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph{%s, %d vertices, %d edges}", kind, g.n, g.UndirectedEdges())
+}

@@ -1,0 +1,65 @@
+package graphct_test
+
+import (
+	"fmt"
+
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graphct"
+	"graphxmt/internal/machine"
+	"graphxmt/internal/trace"
+)
+
+// ExampleConnectedComponents labels a clique chain (a single component),
+// then evaluates the recorded work profile on the simulated Cray XMT. A
+// tiny 12-vertex graph is barrier-dominated, so adding processors does not
+// help — the flat-scaling regime the paper observes on small frontiers; a
+// real workload (see the package tests) scales.
+func ExampleConnectedComponents() {
+	g := gen.CliqueChain(3, 4) // one connected component of 12 vertices
+	rec := trace.NewRecorder()
+	res := graphct.ConnectedComponents(g, rec)
+	sizes, largest := graphct.ComponentSizes(res.Labels)
+	fmt.Println("components:", len(sizes))
+	fmt.Println("largest:", largest)
+
+	model := machine.NewAnalytic(machine.DefaultConfig())
+	t8 := machine.Seconds(model, rec.Phases(), 8)
+	t128 := machine.Seconds(model, rec.Phases(), 128)
+	fmt.Println("tiny graph scales with processors:", t128 < t8)
+	// Output:
+	// components: 1
+	// largest: 12
+	// tiny graph scales with processors: false
+}
+
+// ExampleBFS traverses a 4x4 grid, reporting frontier sizes per level —
+// the quantity behind the paper's Figure 2.
+func ExampleBFS() {
+	g := gen.Grid(4, 4)
+	res := graphct.BFS(g, 0, nil)
+	fmt.Println("levels:", res.Levels)
+	fmt.Println("frontiers:", res.FrontierSizes)
+	// Output:
+	// levels: 7
+	// frontiers: [1 2 3 4 3 2 1]
+}
+
+// ExampleTriangles counts triangles in a complete graph: K5 has C(5,3)=10.
+func ExampleTriangles() {
+	res := graphct.Triangles(gen.Complete(5), nil)
+	fmt.Println("triangles:", res.Count)
+	fmt.Println("writes:", res.Writes)
+	// Output:
+	// triangles: 10
+	// writes: 10
+}
+
+// ExampleKCore decomposes a clique with a pendant vertex.
+func ExampleKCore() {
+	// K4 plus a pendant hanging off vertex 3.
+	g := gen.CliqueChain(1, 4)
+	res := graphct.KCore(g, nil)
+	fmt.Println("degeneracy:", res.MaxCore)
+	// Output:
+	// degeneracy: 3
+}

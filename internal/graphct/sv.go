@@ -1,0 +1,118 @@
+package graphct
+
+import (
+	"graphxmt/internal/graph"
+	"graphxmt/internal/trace"
+)
+
+// SVResult is the output of ConnectedComponentsSV.
+type SVResult struct {
+	// Labels maps each vertex to the smallest vertex ID in its component.
+	Labels []int64
+	// Iterations is the number of hook+compress rounds.
+	Iterations int
+	// Hooks and Jumps count the tree mutations performed, for
+	// cross-checking work against the relaxation kernel.
+	Hooks, Jumps int64
+}
+
+// ConnectedComponentsSV is the classical Shiloach-Vishkin algorithm the
+// paper names as GraphCT's basis: vertices live in a pointer forest;
+// every round (1) hooks — for every edge (u,v), the root of the
+// higher-labeled endpoint is pointed at the lower label — and (2)
+// compresses — every vertex jumps its pointer to its grandparent until the
+// forest is flat. Rounds repeat until a full pass changes nothing. The
+// result equals ConnectedComponents' labels (tests enforce it); the two
+// kernels differ only in intra-iteration work structure.
+func ConnectedComponentsSV(g *graph.Graph, rec *trace.Recorder) *SVResult {
+	n := g.NumVertices()
+	parent := make([]int64, n)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	res := &SVResult{}
+	for {
+		ph := rec.StartPhase("sv/round", res.Iterations)
+		var changed int64
+
+		// Hook: connect roots along edges toward smaller labels.
+		var hooks int64
+		for u := int64(0); u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				pu, pv := parent[u], parent[v]
+				// Hook only roots to keep the forest acyclic
+				// (Shiloach-Vishkin's conditional hook).
+				if pv < pu && parent[pu] == pu {
+					parent[pu] = pv
+					hooks++
+					changed++
+				}
+			}
+		}
+
+		// Compress: pointer jumping until every vertex points at a root.
+		var jumps int64
+		for {
+			var jumped int64
+			for v := int64(0); v < n; v++ {
+				p := parent[v]
+				gp := parent[p]
+				if gp != p {
+					parent[v] = gp
+					jumped++
+				}
+			}
+			jumps += jumped
+			if jumped == 0 {
+				break
+			}
+		}
+
+		m := g.NumEdges()
+		// Hook pass reads each edge + two parents; compress passes read
+		// parent chains.
+		ph.AddTasks(m+n, 2*(m+n), 3*m+2*(jumps+n), hooks+jumps)
+		ph.ObserveTask(6)
+		res.Hooks += hooks
+		res.Jumps += jumps
+		res.Iterations++
+		if changed == 0 {
+			break
+		}
+	}
+	res.Labels = parent
+	return res
+}
+
+// ApproxDiameter estimates the graph's diameter (longest shortest path in
+// the largest component) with the standard double-sweep heuristic GraphCT
+// workflows use: BFS from a start vertex, then BFS again from the farthest
+// vertex found, repeating a few times; the largest eccentricity seen is a
+// lower bound that is exact on trees and extremely tight on small-world
+// graphs.
+func ApproxDiameter(g *graph.Graph, start int64, sweeps int, rec *trace.Recorder) int64 {
+	if sweeps <= 0 {
+		sweeps = 4
+	}
+	n := g.NumVertices()
+	if n == 0 || start < 0 || start >= n {
+		return -1
+	}
+	best := int64(-1)
+	src := start
+	for s := 0; s < sweeps; s++ {
+		res := BFS(g, src, rec)
+		var far, ecc int64 = src, -1
+		for v := int64(0); v < n; v++ {
+			if res.Dist[v] > ecc {
+				ecc, far = res.Dist[v], v
+			}
+		}
+		if ecc <= best {
+			break // converged: no farther vertex found
+		}
+		best = ecc
+		src = far
+	}
+	return best
+}

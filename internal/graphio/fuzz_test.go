@@ -1,0 +1,61 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphxmt/internal/gen"
+)
+
+// FuzzReadDIMACS checks the text parser never panics and that anything it
+// accepts is a structurally valid graph.
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p edge 4 3\ne 1 2\ne 2 3 7\ne 4 4\n")
+	f.Add("c comment\np edge 2 1\ne 1 2\n")
+	f.Add("")
+	f.Add("p edge 0 0\n")
+	f.Add("p edge 1000000 1\ne 1 1\n")
+	f.Add("e 1 2\np edge 2 1\n")
+	f.Add("p edge 3 2\na 1 2 -5\na 2 3 9223372036854775807\n")
+	f.Add("p edge 2 1\ne 1 2 extra fields here\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadDIMACS(strings.NewReader(input), DIMACSOptions{})
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", verr, input)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary reader never panics on corrupt bytes
+// and that accepted payloads validate.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a real snapshot and some mutations of it.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, gen.CliqueChain(2, 3)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("GXMTCSR1"))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	if len(flipped) > 20 {
+		flipped[18] ^= 0xff // corrupt the header
+	}
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"math"
+
+	"graphxmt/internal/trace"
+)
+
+// Analytic is the closed-form machine model. For one phase it computes the
+// four classical bounds and takes their maximum (the bound that binds is
+// the phase's regime), then adds barrier and dispatch overhead:
+//
+//	issueBound   = (issue + mem + hot) / P
+//	latencyBound = mem * L / min(tasks, P*S)
+//	critical     = largest task, serialized through memory latency
+//	hotspotBound = worst single-word fetch-and-add chain * HotspotCycles
+//
+// The smooth-max below avoids non-physical kinks where two bounds cross;
+// the transitions the paper's figures show (linear scaling rolling off into
+// flat) come out of latencyBound saturating as P grows past tasks/S.
+type Analytic struct {
+	cfg Config
+}
+
+// NewAnalytic returns an analytic model with the given configuration. It
+// panics on invalid configurations (programmer error, not input error).
+func NewAnalytic(cfg Config) *Analytic {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Analytic{cfg: cfg}
+}
+
+// Config returns the hardware parameters.
+func (a *Analytic) Config() Config { return a.cfg }
+
+// PhaseCycles implements Model.
+func (a *Analytic) PhaseCycles(p *trace.Phase, procs int) float64 {
+	if procs <= 0 {
+		procs = a.cfg.Procs
+	}
+	c := a.cfg
+	P := float64(procs)
+	S := float64(c.StreamsPerProc)
+	L := float64(c.MemLatency)
+
+	issue := float64(p.Issue)
+	mem := float64(p.Loads + p.Stores)
+	hot := float64(p.HotTotal())
+	tasks := float64(p.Tasks)
+	if tasks < 1 {
+		tasks = 1
+	}
+
+	// Every operation, memory or not, consumes an issue slot.
+	issueBound := (issue + mem + hot) / P
+
+	// Memory latency is hidden only by concurrent streams. The number of
+	// streams that can be kept busy is bounded by available tasks and by
+	// the hardware.
+	concurrency := math.Min(tasks, P*S)
+	latencyBound := mem * L / concurrency
+
+	// The largest single task runs its ops serially on one stream. Memory
+	// ops dominate its length; assume the phase's global memory fraction
+	// applies to the critical task and that a stream overlaps nothing
+	// within one task.
+	memFrac := 0.0
+	if issue+mem > 0 {
+		memFrac = mem / (issue + mem)
+	}
+	critical := float64(p.MaxTask) * (memFrac*L + (1 - memFrac))
+
+	// Fetch-and-adds to one word retire serially at that word.
+	hotspotBound := float64(p.MaxHot()) * float64(c.HotspotCycles)
+
+	work := smoothMax(smoothMax(issueBound, latencyBound), smoothMax(critical, hotspotBound))
+
+	overhead := float64(p.Barriers)*c.barrierCycles(procs) + float64(c.DispatchCycles)
+	return work + overhead
+}
+
+// smoothMax is a softened maximum: max(a,b) <= smoothMax(a,b) <= a+b, exact
+// when one side dominates. Using (a^k+b^k)^(1/k) with k=4 keeps curves
+// smooth across regime changes without distorting the asymptotes.
+func smoothMax(a, b float64) float64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	// Factor out the larger term for numerical stability.
+	if b > a {
+		a, b = b, a
+	}
+	r := b / a
+	const k = 4.0
+	return a * math.Pow(1+math.Pow(r, k), 1/k)
+}

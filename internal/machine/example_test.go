@@ -1,0 +1,36 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"graphxmt/internal/machine"
+	"graphxmt/internal/trace"
+)
+
+// Example shows the machine model's central behaviour: the same work
+// profile evaluated at different processor counts. A phase with abundant
+// parallelism (1M tasks) keeps every added processor's streams busy and
+// scales; a phase with only 256 tasks cannot feed even one processor's
+// 128 hardware streams, so added processors change nothing — the two
+// behaviours behind every scaling curve in the paper.
+func Example() {
+	model := machine.NewAnalytic(machine.DefaultConfig())
+
+	abundant := &trace.Phase{Name: "abundant", Barriers: 1}
+	abundant.AddTasks(1<<20, 1<<24, 1<<24, 0)
+	abundant.ObserveTask(32)
+
+	starved := &trace.Phase{Name: "starved", Barriers: 1}
+	starved.AddTasks(256, 1<<14, 1<<22, 0) // 256 tasks cannot feed 16K streams
+	starved.ObserveTask(1 << 14)
+
+	for _, p := range []*trace.Phase{abundant, starved} {
+		t8 := model.Config().Seconds(model.PhaseCycles(p, 8))
+		t128 := model.Config().Seconds(model.PhaseCycles(p, 128))
+		regime, _ := model.Diagnose(p, 128)
+		fmt.Printf("%s: speedup 8->128 = %.1fx (%s)\n", p.Name, t8/t128, regime)
+	}
+	// Output:
+	// abundant: speedup 8->128 = 15.8x (latency-bound)
+	// starved: speedup 8->128 = 1.0x (latency-bound)
+}

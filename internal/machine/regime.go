@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"math"
+
+	"graphxmt/internal/trace"
+)
+
+// Regime names the bound that dominates a phase's execution time.
+type Regime string
+
+// The four regimes of the analytic model. Overhead marks phases whose
+// barrier/dispatch floor exceeds their work.
+const (
+	IssueBound    Regime = "issue-bound"   // throughput-limited: scales with P
+	LatencyBound  Regime = "latency-bound" // too little parallelism to hide memory latency
+	CriticalPath  Regime = "critical-path" // one giant task serializes the phase
+	HotspotBound  Regime = "hotspot-bound" // fetch-and-adds serialize on one word
+	OverheadBound Regime = "overhead"      // barrier + dispatch floor dominates
+)
+
+// Diagnose reports which bound dominates the phase at the given processor
+// count under the analytic model, along with that bound's share of the
+// phase's total cycles. This is the analysis tool behind statements like
+// "the tail iterations are latency-bound": the paper's scalability
+// arguments are claims about which regime each phase sits in.
+func (a *Analytic) Diagnose(p *trace.Phase, procs int) (Regime, float64) {
+	if procs <= 0 {
+		procs = a.cfg.Procs
+	}
+	c := a.cfg
+	P := float64(procs)
+	S := float64(c.StreamsPerProc)
+	L := float64(c.MemLatency)
+
+	issue := float64(p.Issue)
+	mem := float64(p.Loads + p.Stores)
+	hot := float64(p.HotTotal())
+	tasks := math.Max(float64(p.Tasks), 1)
+
+	issueBound := (issue + mem + hot) / P
+	latencyBound := mem * L / math.Min(tasks, P*S)
+	memFrac := 0.0
+	if issue+mem > 0 {
+		memFrac = mem / (issue + mem)
+	}
+	critical := float64(p.MaxTask) * (memFrac*L + (1 - memFrac))
+	hotspotBound := float64(p.MaxHot()) * float64(c.HotspotCycles)
+	overhead := float64(p.Barriers)*c.barrierCycles(procs) + float64(c.DispatchCycles)
+
+	best, bestVal := OverheadBound, overhead
+	for _, cand := range []struct {
+		r Regime
+		v float64
+	}{
+		{IssueBound, issueBound},
+		{LatencyBound, latencyBound},
+		{CriticalPath, critical},
+		{HotspotBound, hotspotBound},
+	} {
+		if cand.v > bestVal {
+			best, bestVal = cand.r, cand.v
+		}
+	}
+	total := a.PhaseCycles(p, procs)
+	if total <= 0 {
+		return best, 0
+	}
+	return best, bestVal / total
+}

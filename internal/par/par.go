@@ -1,0 +1,281 @@
+// Package par provides the host-side parallel primitives used to execute
+// graph kernels for real while the Cray XMT machine model accounts for
+// simulated time. Everything here affects only host wall-clock speed and
+// never the simulated results: simulated time is a pure function of the work
+// profile a kernel records, so kernels must produce identical answers and
+// identical profiles whether par runs them on 1 or N host cores.
+//
+// The primitives mirror the loop-level parallelism GraphCT relies on on the
+// XMT: flat parallel-for over index ranges, reductions, and prefix sums.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxProcs is the number of host workers used by default. It is a variable
+// so tests can force sequential or oversubscribed execution.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// SetWorkers overrides the number of host workers (<=0 restores the
+// default). It returns the previous value. Intended for tests.
+func SetWorkers(n int) int {
+	old := maxProcs
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxProcs = n
+	return old
+}
+
+// Workers reports the current number of host workers.
+func Workers() int { return maxProcs }
+
+// grainSize is the minimum number of iterations worth shipping to another
+// goroutine; below this, spawning costs more than it saves.
+const grainSize = 2048
+
+// For runs body(i) for every i in [0, n), potentially in parallel.
+// Iterations must be independent.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked partitions [0, n) into contiguous chunks and runs body(lo, hi)
+// for each chunk, potentially in parallel. It is the preferred form for hot
+// loops: the per-iteration closure call of For is hoisted out.
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxProcs
+	if workers <= 1 || n <= grainSize {
+		body(0, n)
+		return
+	}
+	// Dynamic scheduling over fixed-size chunks handles the skewed work
+	// distributions of scale-free graphs (one chunk may contain a vertex
+	// with a million-edge adjacency list).
+	chunk := n / (workers * 8)
+	if chunk < grainSize {
+		chunk = grainSize
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReduceInt64 computes the sum of body(i) over i in [0, n) in parallel.
+func ReduceInt64(n int, body func(i int) int64) int64 {
+	var total int64
+	ForChunked(n, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += body(i)
+		}
+		atomic.AddInt64(&total, local)
+	})
+	return total
+}
+
+// ReduceFloat64 computes the sum of body(i) over i in [0, n).
+//
+// Note: with more than one worker the association order of the floating
+// point sum depends on chunk boundaries, which are deterministic for a given
+// worker count, so results are reproducible per configuration.
+func ReduceFloat64(n int, body func(i int) float64) float64 {
+	if maxProcs <= 1 || n <= grainSize {
+		var total float64
+		for i := 0; i < n; i++ {
+			total += body(i)
+		}
+		return total
+	}
+	var mu sync.Mutex
+	var total float64
+	ForChunked(n, func(lo, hi int) {
+		var local float64
+		for i := lo; i < hi; i++ {
+			local += body(i)
+		}
+		mu.Lock()
+		total += local
+		mu.Unlock()
+	})
+	return total
+}
+
+// MaxInt64 returns the maximum of body(i) over i in [0, n), or def when
+// n == 0.
+func MaxInt64(n int, def int64, body func(i int) int64) int64 {
+	if n <= 0 {
+		return def
+	}
+	var mu sync.Mutex
+	best := def
+	first := true
+	ForChunked(n, func(lo, hi int) {
+		local := body(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := body(i); v > local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if first || local > best {
+			best = local
+			first = false
+		}
+		mu.Unlock()
+	})
+	return best
+}
+
+// CountIf returns the number of i in [0, n) for which pred(i) holds.
+func CountIf(n int, pred func(i int) bool) int64 {
+	return ReduceInt64(n, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// ExclusivePrefixSum replaces counts with its exclusive prefix sum in place
+// and returns the total. counts[i] afterwards holds the sum of the original
+// counts[0:i]. This is the standard CSR row-offset construction step.
+func ExclusivePrefixSum(counts []int64) int64 {
+	var sum int64
+	for i, c := range counts {
+		counts[i] = sum
+		sum += c
+	}
+	return sum
+}
+
+// ExclusivePrefixSum32 is ExclusivePrefixSum for int32 counts with an int64
+// total (the total may exceed 2^31 even when individual offsets fit).
+func ExclusivePrefixSum32(counts []int32) int64 {
+	var sum int64
+	for i, c := range counts {
+		counts[i] = int32(sum)
+		sum += int64(c)
+	}
+	return sum
+}
+
+// FillInt64 sets every element of s to v, in parallel for large slices.
+func FillInt64(s []int64, v int64) {
+	ForChunked(len(s), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s[i] = v
+		}
+	})
+}
+
+// FillInt32 sets every element of s to v, in parallel for large slices.
+func FillInt32(s []int32, v int32) {
+	ForChunked(len(s), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s[i] = v
+		}
+	})
+}
+
+// Iota fills s with s[i] = i.
+func Iota(s []int64) {
+	ForChunked(len(s), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s[i] = int64(i)
+		}
+	})
+}
+
+// ParallelExclusivePrefixSum computes the exclusive prefix sum of counts in
+// place using the classic two-pass chunked scan (per-chunk sums, serial
+// scan of chunk totals, parallel local scans). Semantically identical to
+// ExclusivePrefixSum; preferable for very large arrays on multi-core
+// hosts. Returns the total.
+func ParallelExclusivePrefixSum(counts []int64) int64 {
+	n := len(counts)
+	workers := maxProcs
+	if workers <= 1 || n < 4*grainSize {
+		return ExclusivePrefixSum(counts)
+	}
+	chunks := workers * 4
+	chunkSize := (n + chunks - 1) / chunks
+	sums := make([]int64, chunks)
+
+	// Pass 1: per-chunk totals.
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo := c * chunkSize
+		if lo >= n {
+			break
+		}
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += counts[i]
+			}
+			sums[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	// Serial scan of chunk totals.
+	total := ExclusivePrefixSum(sums)
+
+	// Pass 2: local exclusive scans offset by the chunk base.
+	for c := 0; c < chunks; c++ {
+		lo := c * chunkSize
+		if lo >= n {
+			break
+		}
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			run := sums[c]
+			for i := lo; i < hi; i++ {
+				v := counts[i]
+				counts[i] = run
+				run += v
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	return total
+}
