@@ -1,0 +1,151 @@
+package core_test
+
+// Engine benchmarks: the host wall-clock cost of the BSP runtime itself
+// (sweep, deliver, termination) isolated from any one algorithm's arithmetic.
+// The flood-minimum program is the dense BFS/CC superstep pattern the paper
+// spends most of its time in; the relay program is the sparse-activation
+// worst case (tiny active sets for many supersteps).
+//
+// Run with -bench Engine; compare par.SetWorkers(1) against the default to
+// see the host-parallel speedup. Simulated results and profiles are
+// identical at any worker count (see determinism_test.go).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphxmt/internal/core"
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graph"
+	"graphxmt/internal/par"
+)
+
+const engineBenchScale = 18
+
+var (
+	engineBenchOnce  sync.Once
+	engineBenchGraph *graph.Graph
+)
+
+func engineGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	engineBenchOnce.Do(func() {
+		g, err := gen.RMAT(gen.RMATConfig{Scale: engineBenchScale, EdgeFactor: 8, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		engineBenchGraph = g
+	})
+	return engineBenchGraph
+}
+
+// benchFloodMin floods the minimum vertex ID — the dense CC/BFS superstep
+// pattern: every improved vertex re-floods its neighborhood.
+type benchFloodMin struct{}
+
+func (benchFloodMin) InitialState(_ *graph.Graph, v int64) int64 { return v }
+func (benchFloodMin) Compute(v *core.VertexContext) {
+	st := v.State()
+	changed := false
+	for _, m := range v.Messages() {
+		if m < st {
+			st = m
+			changed = true
+		}
+	}
+	if changed {
+		v.SetState(st)
+	}
+	if v.Superstep() == 0 || changed {
+		v.SendToNeighbors(st)
+	}
+	v.VoteToHalt()
+}
+
+func benchRun(b *testing.B, cfg core.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineDenseFlood(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}})
+}
+
+func BenchmarkEngineDenseFloodCombiner(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}, Combiner: core.Min})
+}
+
+func BenchmarkEngineSparseFlood(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}, SparseActivation: true})
+}
+
+func BenchmarkEngineSparseFloodCombiner(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{},
+		SparseActivation: true, Combiner: core.Min})
+}
+
+// BenchmarkEngineWorkers pins the host worker count so speedup curves can
+// be read off directly: -bench EngineWorkers -cpu 1 is not needed, the
+// subbenchmark name carries the worker count.
+func BenchmarkEngineWorkers(b *testing.B) {
+	g := engineGraph(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(benchName(w), func(b *testing.B) {
+			old := par.SetWorkers(w)
+			defer par.SetWorkers(old)
+			benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}})
+		})
+	}
+}
+
+func benchName(w int) string {
+	return fmt.Sprintf("w=%d", w)
+}
+
+// benchRelay passes a hop-counted token around a ring — the sparse
+// worst case: one active vertex per superstep for many supersteps, where
+// the worklist build and termination check dominate the engine's cost.
+type benchRelay struct {
+	hops int64
+	n    int64
+}
+
+func (benchRelay) InitialState(*graph.Graph, int64) int64 { return 0 }
+func (p benchRelay) Compute(v *core.VertexContext) {
+	if v.Superstep() == 0 {
+		if v.ID() == 0 {
+			v.Send(1%p.n, 1)
+		}
+		v.VoteToHalt()
+		return
+	}
+	for _, m := range v.Messages() {
+		if m < p.hops {
+			v.Send((v.ID()+1)%p.n, m+1)
+		}
+	}
+	v.VoteToHalt()
+}
+
+// BenchmarkEngineSparseRelay measures per-superstep engine overhead with a
+// single-vertex active set (1024 supersteps per run).
+func BenchmarkEngineSparseRelay(b *testing.B) {
+	const n = 1 << 16
+	g := gen.Ring(n)
+	benchRun(b, core.Config{
+		Graph:            g,
+		Program:          benchRelay{hops: 1024, n: n},
+		SparseActivation: true,
+		MaxSupersteps:    2000,
+	})
+}

@@ -1,0 +1,171 @@
+package core_test
+
+// The host-parallelism invariant, asserted end to end: a BSP run's Result
+// (states, per-step counters, aggregates) and its recorded trace profile
+// are bit-identical whether par executes on 1 or N host workers. Simulated
+// time is a pure function of the profile, so this is exactly the guarantee
+// that host parallelism never leaks into the machine model.
+
+import (
+	"reflect"
+	"testing"
+
+	"graphxmt/internal/bspalg"
+	"graphxmt/internal/core"
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graph"
+	"graphxmt/internal/par"
+	"graphxmt/internal/trace"
+)
+
+// detGraph is shared by all determinism cases: large enough that the sweep
+// splits into many chunks and dense supersteps cross the parallel-delivery
+// threshold, small enough to stay fast under -race.
+func detGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 12, EdgeFactor: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runDet executes cfg (with a fresh program from mk, since some programs
+// carry per-run state) under w workers and returns result + profile.
+func runDet(t *testing.T, g *graph.Graph, w int, mk func() core.Config) (*core.Result, []*trace.Phase) {
+	t.Helper()
+	defer par.SetWorkers(par.SetWorkers(w))
+	rec := trace.NewRecorder()
+	cfg := mk()
+	cfg.Graph = g
+	cfg.Recorder = rec
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec.Phases()
+}
+
+func comparePhases(t *testing.T, want, got []*trace.Phase) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("phase count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.Name != b.Name || a.Index != b.Index ||
+			a.Tasks != b.Tasks || a.Issue != b.Issue ||
+			a.Loads != b.Loads || a.Stores != b.Stores ||
+			a.MaxTask != b.MaxTask || a.Hot != b.Hot ||
+			a.Barriers != b.Barriers {
+			t.Fatalf("phase %d (%s/%d) differs:\n  1 worker: %+v\n  N workers: %+v",
+				i, a.Name, a.Index, a, b)
+		}
+	}
+}
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	g := detGraph(t)
+	cases := []struct {
+		name string
+		mk   func() core.Config
+	}{
+		{"bfs/dense", func() core.Config {
+			return core.Config{Program: bspalg.BFSProgram{Source: 0}}
+		}},
+		{"bfs/sparse", func() core.Config {
+			return core.Config{Program: bspalg.BFSProgram{Source: 0}, SparseActivation: true}
+		}},
+		{"cc/dense", func() core.Config {
+			return core.Config{Program: bspalg.CCProgram{}}
+		}},
+		{"cc/combiner", func() core.Config {
+			return core.Config{Program: bspalg.CCProgram{}, Combiner: core.Min}
+		}},
+		{"cc/sparse-combiner", func() core.Config {
+			return core.Config{Program: bspalg.CCProgram{}, Combiner: core.Min, SparseActivation: true}
+		}},
+		{"pagerank/combiner", func() core.Config {
+			return core.Config{
+				Program:  bspalg.PageRankProgram{DampingMilli: 850, Rounds: 15},
+				Combiner: core.Sum,
+			}
+		}},
+		{"triangles/aggregator", func() core.Config {
+			return core.Config{
+				Program:                 bspalg.TCProgram{},
+				MaxMessagesPerSuperstep: 1 << 26,
+			}
+		}},
+		{"kcore/sparse", func() core.Config {
+			return core.Config{Program: bspalg.NewKCoreProgram(g), SparseActivation: true}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseRes, basePh := runDet(t, g, 1, tc.mk)
+			for _, w := range []int{3, 8} {
+				res, ph := runDet(t, g, w, tc.mk)
+				if !reflect.DeepEqual(baseRes, res) {
+					t.Fatalf("w=%d: Result differs from 1-worker run\n  supersteps %d vs %d\n  active %v vs %v\n  msgs %v vs %v\n  aggregates %v vs %v",
+						w, baseRes.Supersteps, res.Supersteps,
+						baseRes.ActivePerStep, res.ActivePerStep,
+						baseRes.MessagesPerStep, res.MessagesPerStep,
+						baseRes.Aggregates, res.Aggregates)
+				}
+				comparePhases(t, basePh, ph)
+			}
+		})
+	}
+}
+
+// TestEngineMatchesReference pins the parallel engine's answers to
+// independent references on the same graph, so determinism cannot hide a
+// systematic error shared by every worker count.
+func TestEngineMatchesReference(t *testing.T) {
+	g := detGraph(t)
+	defer par.SetWorkers(par.SetWorkers(8))
+
+	bfs, err := bspalg.BFS(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: simple sequential BFS over the CSR graph.
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int64{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := int64(0); v < n; v++ {
+		if bfs.Dist[v] != dist[v] {
+			t.Fatalf("bfs dist[%d] = %d, want %d", v, bfs.Dist[v], dist[v])
+		}
+	}
+
+	cc, err := bspalg.ConnectedComponents(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a connected component the label is the minimum member; check
+	// label consistency across every edge.
+	for v := int64(0); v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if cc.Labels[v] != cc.Labels[w] {
+				t.Fatalf("cc labels differ across edge (%d,%d): %d vs %d",
+					v, w, cc.Labels[v], cc.Labels[w])
+			}
+		}
+	}
+}

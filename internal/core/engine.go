@@ -20,13 +20,28 @@
 // implementation: a full vertex scan per superstep, per-message queue
 // writes, and chunked fetch-and-add allocation from a single global buffer
 // cursor (trace.HotMsgCounter).
+//
+// # Host parallelism
+//
+// Run executes supersteps on all host cores via package par — the compute
+// sweep over fixed-boundary vertex chunks with private per-chunk contexts
+// merged in chunk index order, delivery as a stable parallel counting
+// sort, and the sparse-activation worklist as a stamp-ordered dense sweep
+// (see parallel.go). The package invariant is that the host worker count
+// affects only wall-clock time: Result and the recorded trace profile are
+// bit-identical whether par runs on 1 or N cores (asserted by the
+// determinism tests). For that to hold, Program implementations must
+// confine their side effects per vertex: Compute may read shared
+// program-owned data but may only write state indexed by its own
+// VertexContext.ID (as every program in bspalg does), and InitialState
+// must be safe to call concurrently for distinct vertices.
 package core
 
 import (
 	"fmt"
-	"sort"
 
 	"graphxmt/internal/graph"
+	"graphxmt/internal/par"
 	"graphxmt/internal/trace"
 )
 
@@ -39,7 +54,9 @@ type Message struct {
 }
 
 // Program is a vertex program. Compute is called once per active vertex
-// per superstep with the vertex's incoming messages.
+// per superstep with the vertex's incoming messages. Compute runs
+// concurrently for distinct vertices on the host (see the package comment
+// for the confinement rules that keeps results deterministic).
 type Program interface {
 	// InitialState returns vertex v's state before superstep 0.
 	InitialState(g *graph.Graph, v int64) int64
@@ -127,11 +144,17 @@ func Run(cfg Config) (*Result, error) {
 		States:     make([]int64, n),
 		Aggregates: map[string]int64{},
 	}
-	for v := int64(0); v < n; v++ {
-		res.States[v] = cfg.Program.InitialState(g, v)
-	}
+	par.ForChunked(int(n), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			res.States[v] = cfg.Program.InitialState(g, int64(v))
+		}
+	})
 
 	halted := make([]bool, n)
+	// live tracks the number of non-halted vertices incrementally (via
+	// per-chunk halt-transition deltas), replacing the sequential engine's
+	// full rescan of the halt flags on every message-free superstep.
+	live := n
 
 	// Inbox in CSR form: inboxOff[v]..inboxOff[v+1] indexes inboxVal.
 	inboxOff := make([]int64, n+1)
@@ -145,20 +168,19 @@ func Run(cfg Config) (*Result, error) {
 	var stamp []int64
 	if cfg.SparseActivation {
 		candidates = make([]int64, n)
-		for v := int64(0); v < n; v++ {
-			candidates[v] = v
-		}
+		par.Iota(candidates)
 		stamp = make([]int64, n)
-		for i := range stamp {
-			stamp[i] = -1
-		}
+		par.FillInt64(stamp, -1)
 	}
 
-	ctx := &VertexContext{engine: &engineState{
+	// master owns the run-persistent engine state: vertex states and the
+	// run-level aggregators the per-chunk partials fold into.
+	master := &engineState{
 		graph:  g,
 		costs:  costs,
 		states: res.States,
-	}}
+	}
+	scratch := &runScratch{}
 
 	for step := 0; ; step++ {
 		if step >= maxSteps {
@@ -180,51 +202,91 @@ func Run(cfg Config) (*Result, error) {
 
 		ph := cfg.Recorder.StartPhase("bsp/superstep", step)
 
-		ctx.engine.superstep = step
-		ctx.engine.sendBuf = sendBuf[:0]
-		ctx.engine.sent = 0
-		ctx.engine.extraIssue, ctx.engine.extraLoads, ctx.engine.extraStores = 0, 0, 0
-
-		var active, received int64
-		var wake []int64 // sparse mode: vertices that did not halt
-		runVertex := func(v int64) {
-			lo, hi := inboxOff[v], inboxOff[v+1]
-			hasMsgs := hi > lo
-			if step > 0 && !hasMsgs && halted[v] {
-				return
-			}
-			active++
-			received += hi - lo
-			ctx.id = v
-			ctx.msgs = inboxVal[lo:hi]
-			ctx.halt = false
-			cfg.Program.Compute(ctx)
-			halted[v] = ctx.halt
-			if cfg.SparseActivation && !ctx.halt {
-				wake = append(wake, v)
-			}
-		}
+		// Compute sweep: fixed-boundary chunks, each with a private
+		// context, merged in chunk index order below. Chunk boundaries
+		// depend only on the sweep length, so results and profiles are
+		// identical at any host worker count.
+		count := int(n)
 		if cfg.SparseActivation {
-			for _, v := range candidates {
-				runVertex(v)
-			}
-		} else {
-			for v := int64(0); v < n; v++ {
-				runVertex(v)
-			}
+			count = len(candidates)
 		}
-		sendBuf = ctx.engine.sendBuf
+		chunkSize := sweepChunkSize(count)
+		numChunks := 0
+		if count > 0 {
+			numChunks = (count + chunkSize - 1) / chunkSize
+		}
+		scratch.ensureChunks(numChunks, master)
+		sparse := cfg.SparseActivation
+		prog := cfg.Program
+		ib := &inboxView{val: inboxVal, off: inboxOff}
+		if sparse {
+			scratch.ensureSparseInbox(n)
+			ib.sparse = true
+			ib.stamp, ib.lo, ib.hi = scratch.msgStamp, scratch.msgLo, scratch.msgHi
+			ib.st = int64(step) - 1 // what the previous superstep delivered
+		}
+		if par.Workers() == 1 {
+			// Serial fast path: chunks run in index order anyway, so thread
+			// one shared send buffer through them — appending in chunk order
+			// is the concatenation the parallel path performs explicitly,
+			// minus the copy. Counter and aggregator partials stay per-chunk
+			// so their merge fold structure (hence the result) is identical
+			// to the parallel path's.
+			buf := sendBuf[:0]
+			for c := 0; c < numChunks; c++ {
+				lo := c * chunkSize
+				hi := lo + chunkSize
+				if hi > count {
+					hi = count
+				}
+				cs := scratch.chunks[c]
+				cs.reset(step, master.prevAggregates)
+				cs.eng.sendBuf = buf
+				if sparse {
+					for i := lo; i < hi; i++ {
+						cs.runVertex(prog, candidates[i], step, ib, halted, true)
+					}
+				} else {
+					for v := lo; v < hi; v++ {
+						cs.runVertex(prog, int64(v), step, ib, halted, false)
+					}
+				}
+				buf = cs.eng.sendBuf
+				cs.eng.sendBuf = nil
+			}
+			sendBuf = buf
+		} else {
+			par.ForFixedChunks(count, chunkSize, func(c, lo, hi int) {
+				cs := scratch.chunks[c]
+				cs.reset(step, master.prevAggregates)
+				if sparse {
+					for i := lo; i < hi; i++ {
+						cs.runVertex(prog, candidates[i], step, ib, halted, true)
+					}
+				} else {
+					for v := lo; v < hi; v++ {
+						cs.runVertex(prog, int64(v), step, ib, halted, false)
+					}
+				}
+			})
+			sendBuf = scratch.concatSends(sendBuf, numChunks)
+		}
+
+		// Deterministic merge of the chunk partials.
+		active, received, extraIssue, extraLoads, extraStores, haltDelta := scratch.mergeCounters(numChunks)
+		live += haltDelta
 		sent := int64(len(sendBuf))
 		if sent > maxMsgs {
 			return nil, fmt.Errorf("core: superstep %d sent %d messages, exceeding the %d cap; use a streaming evaluator", step, sent, maxMsgs)
 		}
+		scratch.mergeAggregates(master, numChunks)
 
 		// Charge the compute phase: active dispatch, message receive,
 		// message send, and chunked global buffer allocation.
 		ph.AddTasks(active+sent,
-			costs.ActiveIssuePerVertex*active+costs.RecvIssuePerMsg*received+costs.SendIssuePerMsg*sent+ctx.engine.extraIssue,
-			costs.ActiveLoadsPerVertex*active+costs.RecvLoadsPerMsg*received+costs.SendLoadsPerMsg*sent+ctx.engine.extraLoads,
-			costs.ActiveStoresPerVertex*active+costs.SendStoresPerMsg*sent+ctx.engine.extraStores)
+			costs.ActiveIssuePerVertex*active+costs.RecvIssuePerMsg*received+costs.SendIssuePerMsg*sent+extraIssue,
+			costs.ActiveLoadsPerVertex*active+costs.RecvLoadsPerMsg*received+costs.SendLoadsPerMsg*sent+extraLoads,
+			costs.ActiveStoresPerVertex*active+costs.SendStoresPerMsg*sent+extraStores)
 		ph.AddHot(trace.HotMsgCounter, costs.hotOps(sent))
 		ph.ObserveTask(costs.ActiveIssuePerVertex + costs.ActiveLoadsPerVertex +
 			costs.RecvIssuePerMsg + costs.RecvLoadsPerMsg)
@@ -236,118 +298,34 @@ func Run(cfg Config) (*Result, error) {
 		// Snapshot aggregators for next superstep's PreviousAggregate
 		// (Pregel visibility: values aggregated in superstep s are
 		// readable in s+1). Aggregators accumulate over the whole run.
-		if len(ctx.engine.aggregates) > 0 {
-			snap := make(map[string]int64, len(ctx.engine.aggregates))
-			for name, agg := range ctx.engine.aggregates {
+		if len(master.aggregates) > 0 {
+			snap := make(map[string]int64, len(master.aggregates))
+			for name, agg := range master.aggregates {
 				snap[name] = agg.value
 			}
-			ctx.engine.prevAggregates = snap
+			master.prevAggregates = snap
 		}
 
-		if sent == 0 {
-			allHalted := true
-			for v := int64(0); v < n; v++ {
-				if !halted[v] {
-					allHalted = false
-					break
-				}
-			}
-			if allHalted {
-				break
-			}
+		if sent == 0 && live == 0 {
+			break
 		}
 
 		// Deliver: counting sort the send buffer into per-vertex inboxes,
 		// applying the combiner if configured.
-		delivered := deliver(sendBuf, n, cfg.Combiner, &inboxOff, &inboxVal)
+		delivered := scratch.deliver(sendBuf, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, int64(step))
 		res.DeliveredPerStep = append(res.DeliveredPerStep, delivered)
 		ph.AddTasks(0, 0, costs.DeliverLoadsPerMsg*sent, costs.DeliverStoresPerMsg*sent)
 
 		if cfg.SparseActivation {
 			// Next worklist: message receivers plus vertices that stayed
-			// awake, deduplicated and sorted for deterministic execution
-			// order.
-			candidates = candidates[:0]
-			for _, m := range sendBuf {
-				if stamp[m.Dest] != int64(step) {
-					stamp[m.Dest] = int64(step)
-					candidates = append(candidates, m.Dest)
-				}
-			}
-			for _, v := range wake {
-				if stamp[v] != int64(step) {
-					stamp[v] = int64(step)
-					candidates = append(candidates, v)
-				}
-			}
-			sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+			// awake, deduplicated and in ascending order for deterministic
+			// execution.
+			wake := scratch.mergeWake(numChunks)
+			candidates = scratch.nextWorklist(candidates, step, wake, delivered, sendBuf, stamp, n)
 		}
 	}
-	for name, agg := range ctx.engine.aggregates {
+	for name, agg := range master.aggregates {
 		res.Aggregates[name] = agg.value
 	}
 	return res, nil
-}
-
-// deliver routes sendBuf into CSR-form inboxes (inboxOff, inboxVal),
-// combining same-destination messages when combine is non-nil. It returns
-// the number of delivered (post-combining) messages.
-func deliver(sendBuf []Message, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
-	off := *inboxOff
-	for i := range off {
-		off[i] = 0
-	}
-	if combine == nil {
-		for _, m := range sendBuf {
-			off[m.Dest+1]++
-		}
-		for v := int64(0); v < n; v++ {
-			off[v+1] += off[v]
-		}
-		val := *inboxVal
-		if int64(cap(val)) < int64(len(sendBuf)) {
-			val = make([]int64, len(sendBuf))
-		} else {
-			val = val[:len(sendBuf)]
-		}
-		next := make([]int64, n)
-		copy(next, off[:n])
-		for _, m := range sendBuf {
-			val[next[m.Dest]] = m.Value
-			next[m.Dest]++
-		}
-		*inboxVal = val
-		return int64(len(sendBuf))
-	}
-
-	// Combining path: one slot per destination that received anything.
-	has := make([]bool, n)
-	acc := make([]int64, n)
-	var delivered int64
-	for _, m := range sendBuf {
-		if has[m.Dest] {
-			acc[m.Dest] = combine(acc[m.Dest], m.Value)
-		} else {
-			has[m.Dest] = true
-			acc[m.Dest] = m.Value
-			delivered++
-		}
-	}
-	val := *inboxVal
-	if int64(cap(val)) < delivered {
-		val = make([]int64, delivered)
-	} else {
-		val = val[:delivered]
-	}
-	var pos int64
-	for v := int64(0); v < n; v++ {
-		off[v] = pos
-		if has[v] {
-			val[pos] = acc[v]
-			pos++
-		}
-	}
-	off[n] = pos
-	*inboxVal = val
-	return delivered
 }

@@ -1,0 +1,689 @@
+package core
+
+import (
+	"math"
+
+	"graphxmt/internal/par"
+)
+
+// Host-parallel execution of the BSP engine.
+//
+// The engine's invariant (shared with every kernel in this repository) is
+// that the host worker count affects only wall-clock time: results and
+// recorded work profiles are bit-identical whether par runs on 1 or N
+// cores. The machinery here achieves that with deterministic chunking:
+//
+//   - The compute sweep is partitioned into fixed-size chunks whose
+//     boundaries depend only on the sweep length (par.ForFixedChunks).
+//     Each chunk runs vertices with a private VertexContext — private send
+//     buffer, work-charge accumulators, aggregator partials, wake list and
+//     halt-transition counter — and the partials are merged in chunk index
+//     order after the sweep. Concatenating per-chunk send buffers in chunk
+//     order reproduces exactly the send order of a sequential sweep.
+//
+//   - Delivery is a stable counting sort: the output grouping (messages
+//     per destination, in send order) is unique, so the internal
+//     partitioning of the sort is free to follow the worker count.
+//
+//   - The combining path groups messages per destination first (the same
+//     stable sort) and then left-folds each destination's messages in send
+//     order, reproducing the sequential combine order for ANY combiner —
+//     associativity is not required for determinism across worker counts.
+//
+//   - Aggregators fold per chunk and the chunk partials fold in chunk
+//     index order. Chunk boundaries are worker-independent, so the fold
+//     tree — and therefore the result, even for non-associative
+//     reductions — is too.
+
+// sweepChunkSize returns the fixed chunk size used to partition a sweep of
+// count items. It depends only on count — never on the worker count — so
+// chunk boundaries, and every merge keyed on chunk index, are identical
+// across host configurations.
+func sweepChunkSize(count int) int {
+	const (
+		minChunk     = 64
+		targetChunks = 256
+	)
+	cs := count / targetChunks
+	if cs < minChunk {
+		cs = minChunk
+	}
+	return cs
+}
+
+// deliverParallelMin is the send-buffer size below which the sequential
+// delivery paths win on the host. Both paths produce identical output, so
+// the threshold is a pure host-speed knob.
+const deliverParallelMin = 1 << 14
+
+// maxDeliverChunks bounds the counting-sort fan-in C: the sort keeps C
+// per-chunk destination counters (C*n int32 of scratch), so C is capped
+// both absolutely and by a scratch-memory budget for very large graphs.
+const maxDeliverChunks = 16
+
+// chunkState is the private state of one sweep chunk: everything a worker
+// mutates while running its chunk's vertices, merged deterministically (in
+// chunk index order) after the sweep barrier.
+type chunkState struct {
+	ctx VertexContext
+	eng engineState
+	// wake collects non-halted vertices (sparse activation only).
+	wake []int64
+	// active / received mirror the per-superstep counters of the
+	// sequential engine, chunk-locally.
+	active   int64
+	received int64
+	// haltDelta is the net change to the live (non-halted) vertex count
+	// produced by this chunk's halt-flag transitions.
+	haltDelta int64
+}
+
+// reset prepares the chunk for one superstep. Aggregator partials are not
+// cleared here: mergeAggregates unseeds them as it consumes them.
+func (cs *chunkState) reset(step int, prevAggs map[string]int64) {
+	cs.eng.superstep = step
+	cs.eng.sendBuf = cs.eng.sendBuf[:0]
+	cs.eng.sent = 0
+	cs.eng.extraIssue, cs.eng.extraLoads, cs.eng.extraStores = 0, 0, 0
+	cs.eng.prevAggregates = prevAggs
+	cs.active, cs.received, cs.haltDelta = 0, 0, 0
+	cs.wake = cs.wake[:0]
+}
+
+// inboxView is the sweep's read-side of the inbox. Dense mode reads the
+// CSR offsets; sparse mode reads a stamped per-vertex lookaside (msgStamp
+// / msgLo / msgHi), which lets sparse delivery touch only the receivers
+// instead of rebuilding an O(n) CSR every superstep. st is the stamp the
+// delivering superstep wrote (consumer step - 1); st < 0 means nothing has
+// been delivered yet (superstep 0).
+type inboxView struct {
+	val    []int64
+	off    []int64 // dense CSR offsets
+	stamp  []int64 // sparse lookaside
+	lo, hi []int64
+	st     int64
+	sparse bool
+}
+
+// slice returns vertex v's incoming messages.
+func (ib *inboxView) slice(v int64) []int64 {
+	if ib.sparse {
+		if ib.st < 0 || ib.stamp[v] != ib.st {
+			return nil
+		}
+		return ib.val[ib.lo[v]:ib.hi[v]]
+	}
+	return ib.val[ib.off[v]:ib.off[v+1]]
+}
+
+// runVertex executes one vertex against this chunk's private context. It
+// is the parallel twin of the sequential engine's per-vertex dispatch.
+func (cs *chunkState) runVertex(p Program, v int64, step int, ib *inboxView, halted []bool, sparse bool) {
+	msgs := ib.slice(v)
+	hasMsgs := len(msgs) > 0
+	if step > 0 && !hasMsgs && halted[v] {
+		return
+	}
+	cs.active++
+	cs.received += int64(len(msgs))
+	ctx := &cs.ctx
+	ctx.id = v
+	ctx.msgs = msgs
+	ctx.halt = false
+	p.Compute(ctx)
+	if ctx.halt != halted[v] {
+		halted[v] = ctx.halt
+		if ctx.halt {
+			cs.haltDelta--
+		} else {
+			cs.haltDelta++
+		}
+	}
+	if sparse && !ctx.halt {
+		cs.wake = append(cs.wake, v)
+	}
+}
+
+// runScratch holds every buffer the engine reuses across supersteps: the
+// per-chunk worker states and the delivery / worklist scratch that the
+// sequential engine used to reallocate each superstep.
+type runScratch struct {
+	chunks  []*chunkState
+	sendOff []int // per-chunk send-buffer offsets for the merge copy
+	wake    []int64
+
+	// Sequential delivery scratch (the hoisted next/has/acc of the old
+	// per-superstep allocations). has is all-false between deliveries:
+	// seqCombineDeliver re-clears the flags it set during its compaction
+	// sweep, so no O(n) zeroing is ever needed.
+	next []int64
+	has  []bool
+	acc  []int64
+
+	// Parallel delivery scratch.
+	counts   []int32 // C*n destination counters, dest-major
+	groupOff []int64 // n+1 group boundaries (combining path)
+	groupVal []int64 // grouped message values (combining path)
+	rangeCnt []int64 // per-range counters for compaction sweeps
+
+	// Sparse-activation scratch.
+	sortScratch []int64 // radix-sort ping buffer
+
+	// Sparse inbox lookaside: msgStamp[v] == step marks that v received
+	// messages in the superstep stamped step, stored at val[msgLo[v]:
+	// msgHi[v]]. Sparse delivery fills only receivers' entries, making the
+	// superstep boundary O(sent) instead of O(n).
+	msgStamp []int64
+	msgLo    []int64
+	msgHi    []int64
+	recvList []int64
+}
+
+// ensureSparseInbox sizes the lookaside arrays (stamps start at -1, which
+// matches no superstep).
+func (s *runScratch) ensureSparseInbox(n int64) {
+	if int64(len(s.msgStamp)) >= n {
+		return
+	}
+	s.msgStamp = make([]int64, n)
+	par.FillInt64(s.msgStamp, -1)
+	s.msgLo = make([]int64, n)
+	s.msgHi = make([]int64, n)
+}
+
+// ensureChunks guarantees at least numChunks chunk states exist, each
+// wired to the run's shared graph/costs/states.
+func (s *runScratch) ensureChunks(numChunks int, master *engineState) {
+	for len(s.chunks) < numChunks {
+		cs := &chunkState{}
+		cs.eng.graph = master.graph
+		cs.eng.costs = master.costs
+		cs.eng.states = master.states
+		cs.ctx.engine = &cs.eng
+		s.chunks = append(s.chunks, cs)
+	}
+}
+
+// mergeCounters sums the per-chunk superstep counters (serial over a few
+// hundred chunks; the order is irrelevant for integer sums).
+func (s *runScratch) mergeCounters(numChunks int) (active, received, extraIssue, extraLoads, extraStores, haltDelta int64) {
+	for _, cs := range s.chunks[:numChunks] {
+		active += cs.active
+		received += cs.received
+		extraIssue += cs.eng.extraIssue
+		extraLoads += cs.eng.extraLoads
+		extraStores += cs.eng.extraStores
+		haltDelta += cs.haltDelta
+	}
+	return
+}
+
+// concatSends concatenates the per-chunk send buffers into dst in chunk
+// index order — exactly the send order a sequential sweep would have
+// produced — copying chunks in parallel.
+func (s *runScratch) concatSends(dst []Message, numChunks int) []Message {
+	if cap(s.sendOff) < numChunks+1 {
+		s.sendOff = make([]int, numChunks+1)
+	}
+	s.sendOff = s.sendOff[:numChunks+1]
+	total := 0
+	for c := 0; c < numChunks; c++ {
+		s.sendOff[c] = total
+		total += len(s.chunks[c].eng.sendBuf)
+	}
+	s.sendOff[numChunks] = total
+	if cap(dst) < total {
+		dst = make([]Message, total)
+	}
+	dst = dst[:total]
+	par.ForCoarse(numChunks, func(c int) {
+		copy(dst[s.sendOff[c]:s.sendOff[c+1]], s.chunks[c].eng.sendBuf)
+	})
+	return dst
+}
+
+// mergeWake concatenates the per-chunk wake lists (sparse mode). Order is
+// irrelevant downstream — the worklist build stamps or sorts — but chunk
+// order keeps it deterministic anyway.
+func (s *runScratch) mergeWake(numChunks int) []int64 {
+	s.wake = s.wake[:0]
+	for _, cs := range s.chunks[:numChunks] {
+		s.wake = append(s.wake, cs.wake...)
+	}
+	return s.wake
+}
+
+// mergeAggregates folds each chunk's aggregator partials into the run's
+// persistent aggregators in chunk index order, then unseeds the partials
+// for the next superstep. Chunk boundaries are worker-independent, so the
+// fold order — hence the value, for any reduction — is too.
+func (s *runScratch) mergeAggregates(master *engineState, numChunks int) {
+	for _, cs := range s.chunks[:numChunks] {
+		if cs.eng.aggregates == nil {
+			continue
+		}
+		for name, a := range cs.eng.aggregates {
+			if !a.seeded {
+				continue
+			}
+			if master.aggregates == nil {
+				master.aggregates = map[string]*aggregator{}
+			}
+			m, ok := master.aggregates[name]
+			if !ok {
+				m = &aggregator{reduce: a.reduce}
+				master.aggregates[name] = m
+			}
+			if !m.seeded {
+				m.value, m.seeded = a.value, true
+			} else {
+				m.value = m.reduce(m.value, a.value)
+			}
+			a.seeded = false
+		}
+	}
+}
+
+func ensureInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// deliver routes sendBuf into per-vertex inboxes — dense mode builds the
+// CSR arrays (inboxOff, inboxVal); sparse mode fills the stamped lookaside
+// with stamp st — combining same-destination messages when combine is
+// non-nil, and returns the number of delivered (post-combining) messages.
+// Every path produces the same per-vertex message sequences (the internal
+// layout of inboxVal may differ), so the path choice is a pure host-speed
+// decision.
+func (s *runScratch) deliver(sendBuf []Message, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64) int64 {
+	sent := len(sendBuf)
+	parallel := par.Workers() > 1 && sent >= deliverParallelMin && int64(sent) < math.MaxInt32
+	if sparse {
+		s.ensureSparseInbox(n)
+		// The O(sent) lookaside paths win when the send buffer is small
+		// relative to the vertex set; once sent rivals n, the CSR build's
+		// O(n) passes are amortized and its branch-free counting sort is
+		// cheaper per message, so route through it and mirror the offsets
+		// into the lookaside afterwards.
+		if !parallel && int64(sent) < n {
+			if combine == nil {
+				return s.seqDeliverSparse(sendBuf, n, inboxVal, st)
+			}
+			return s.seqCombineDeliverSparse(sendBuf, n, combine, inboxVal, st)
+		}
+		var delivered int64
+		if combine == nil {
+			if parallel {
+				val := ensureInt64(*inboxVal, sent)
+				s.stableGroupByDest(sendBuf, n, *inboxOff, val)
+				*inboxVal = val
+				delivered = int64(sent)
+			} else {
+				delivered = s.seqDeliver(sendBuf, n, inboxOff, inboxVal)
+			}
+		} else if parallel {
+			delivered = s.parCombineDeliver(sendBuf, n, combine, inboxOff, inboxVal)
+		} else {
+			delivered = s.seqCombineDeliver(sendBuf, n, combine, inboxOff, inboxVal)
+		}
+		off := *inboxOff
+		stampArr, lo, hi := s.msgStamp, s.msgLo, s.msgHi
+		par.ForChunked(int(n), func(a, b int) {
+			for v := a; v < b; v++ {
+				if off[v+1] > off[v] {
+					stampArr[v] = st
+					lo[v] = off[v]
+					hi[v] = off[v+1]
+				}
+			}
+		})
+		return delivered
+	}
+	if combine == nil {
+		if !parallel {
+			return s.seqDeliver(sendBuf, n, inboxOff, inboxVal)
+		}
+		val := ensureInt64(*inboxVal, sent)
+		s.stableGroupByDest(sendBuf, n, *inboxOff, val)
+		*inboxVal = val
+		return int64(sent)
+	}
+	if !parallel {
+		return s.seqCombineDeliver(sendBuf, n, combine, inboxOff, inboxVal)
+	}
+	return s.parCombineDeliver(sendBuf, n, combine, inboxOff, inboxVal)
+}
+
+// seqDeliverSparse is the sparse counterpart of seqDeliver: it touches
+// only the receivers (O(sent) work, no O(n) offset rebuild), writing the
+// stamped lookaside. msgHi serves triple duty: per-destination count, then
+// scatter cursor, then final end offset.
+func (s *runScratch) seqDeliverSparse(sendBuf []Message, n int64, inboxVal *[]int64, st int64) int64 {
+	if cap(s.recvList) < int(n) {
+		s.recvList = make([]int64, 0, n)
+	}
+	receivers := s.recvList[:0]
+	stamp, lo, hi := s.msgStamp, s.msgLo, s.msgHi
+	for _, m := range sendBuf {
+		if stamp[m.Dest] != st {
+			stamp[m.Dest] = st
+			hi[m.Dest] = 1
+			receivers = append(receivers, m.Dest)
+		} else {
+			hi[m.Dest]++
+		}
+	}
+	var pos int64
+	for _, v := range receivers {
+		cnt := hi[v]
+		lo[v] = pos
+		hi[v] = pos // cursor; restored to end by the scatter below
+		pos += cnt
+	}
+	val := ensureInt64(*inboxVal, len(sendBuf))
+	for _, m := range sendBuf {
+		val[hi[m.Dest]] = m.Value
+		hi[m.Dest]++
+	}
+	*inboxVal = val
+	return int64(len(sendBuf))
+}
+
+// seqCombineDeliverSparse combines per destination in send order, touching
+// only the receivers. acc is guarded by the stamp, so it needs no
+// clearing between supersteps.
+func (s *runScratch) seqCombineDeliverSparse(sendBuf []Message, n int64, combine func(a, b int64) int64, inboxVal *[]int64, st int64) int64 {
+	if cap(s.recvList) < int(n) {
+		s.recvList = make([]int64, 0, n)
+	}
+	if int64(len(s.acc)) < n {
+		s.acc = make([]int64, n)
+	}
+	receivers := s.recvList[:0]
+	stamp, lo, hi, acc := s.msgStamp, s.msgLo, s.msgHi, s.acc
+	for _, m := range sendBuf {
+		if stamp[m.Dest] != st {
+			stamp[m.Dest] = st
+			acc[m.Dest] = m.Value
+			receivers = append(receivers, m.Dest)
+		} else {
+			acc[m.Dest] = combine(acc[m.Dest], m.Value)
+		}
+	}
+	delivered := int64(len(receivers))
+	val := ensureInt64(*inboxVal, int(delivered))
+	for i, v := range receivers {
+		val[i] = acc[v]
+		lo[v] = int64(i)
+		hi[v] = int64(i) + 1
+	}
+	*inboxVal = val
+	return delivered
+}
+
+// seqDeliver is the sequential non-combining counting sort, with the
+// cursor array hoisted into run-level scratch.
+func (s *runScratch) seqDeliver(sendBuf []Message, n int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
+	off := *inboxOff
+	for i := range off {
+		off[i] = 0
+	}
+	for _, m := range sendBuf {
+		off[m.Dest+1]++
+	}
+	for v := int64(0); v < n; v++ {
+		off[v+1] += off[v]
+	}
+	val := ensureInt64(*inboxVal, len(sendBuf))
+	s.next = ensureInt64(s.next, int(n))
+	next := s.next
+	copy(next, off[:n])
+	for _, m := range sendBuf {
+		val[next[m.Dest]] = m.Value
+		next[m.Dest]++
+	}
+	*inboxVal = val
+	return int64(len(sendBuf))
+}
+
+// seqCombineDeliver is the sequential combining path: one slot per
+// destination that received anything, folded in send order. The has flags
+// are cleared during the compaction sweep, restoring the all-false
+// invariant without a separate zeroing pass.
+func (s *runScratch) seqCombineDeliver(sendBuf []Message, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
+	if int64(len(s.has)) < n {
+		s.has = make([]bool, n)
+		s.acc = make([]int64, n)
+	}
+	has, acc := s.has, s.acc
+	var delivered int64
+	for _, m := range sendBuf {
+		if has[m.Dest] {
+			acc[m.Dest] = combine(acc[m.Dest], m.Value)
+		} else {
+			has[m.Dest] = true
+			acc[m.Dest] = m.Value
+			delivered++
+		}
+	}
+	val := ensureInt64(*inboxVal, int(delivered))
+	off := *inboxOff
+	var pos int64
+	for v := int64(0); v < n; v++ {
+		off[v] = pos
+		if has[v] {
+			val[pos] = acc[v]
+			pos++
+			has[v] = false
+		}
+	}
+	off[n] = pos
+	*inboxVal = val
+	return delivered
+}
+
+// deliverChunks picks the counting-sort fan-in: enough chunks to feed the
+// workers, capped absolutely and by a scratch budget of C*n counter words.
+func deliverChunks(n int64) int {
+	C := par.Workers() * 2
+	if C < 2 {
+		C = 2
+	}
+	if C > maxDeliverChunks {
+		C = maxDeliverChunks
+	}
+	const entryBudget = 1 << 24 // 64 MiB of int32 counters
+	if n > 0 {
+		if byBudget := int(entryBudget / n); byBudget < C {
+			C = byBudget
+		}
+	}
+	if C < 2 {
+		C = 2
+	}
+	return C
+}
+
+// stableGroupByDest scatters sendBuf's values into val grouped by
+// destination, preserving send order within each destination (a stable
+// two-pass counting sort), and fills off (length n+1) with the group
+// boundaries. The output is the unique stable grouping, independent of the
+// internal chunking, so the fan-in C may track the worker count freely.
+// Requires len(sendBuf) < 2^31 (the caller gates on this).
+func (s *runScratch) stableGroupByDest(sendBuf []Message, n int64, off, val []int64) {
+	sent := len(sendBuf)
+	C := deliverChunks(n)
+	cw := int64(C)
+	need := n * cw
+	if int64(cap(s.counts)) < need {
+		s.counts = make([]int32, need)
+	}
+	s.counts = s.counts[:need]
+	counts := s.counts
+	par.FillInt32(counts, 0)
+
+	mchunk := (sent + C - 1) / C
+	// Pass 1: per-(destination, chunk) counts. Chunk c owns column c of
+	// every destination row, so the writes are disjoint.
+	par.ForCoarse(C, func(c int) {
+		lo, hi := c*mchunk, (c+1)*mchunk
+		if hi > sent {
+			hi = sent
+		}
+		if lo >= hi {
+			return
+		}
+		cc := int64(c)
+		for _, m := range sendBuf[lo:hi] {
+			counts[m.Dest*cw+cc]++
+		}
+	})
+
+	// Exclusive prefix sum in (dest, chunk) order turns counts into start
+	// cursors that realize the stable order: destination-major, then send
+	// (chunk, position) order within a destination.
+	par.ParallelExclusivePrefixSum32(counts)
+
+	par.ForChunked(int(n), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			off[v] = int64(counts[int64(v)*cw])
+		}
+	})
+	off[n] = int64(sent)
+
+	// Pass 2: scatter through the per-(dest, chunk) cursors.
+	par.ForCoarse(C, func(c int) {
+		lo, hi := c*mchunk, (c+1)*mchunk
+		if hi > sent {
+			hi = sent
+		}
+		if lo >= hi {
+			return
+		}
+		cc := int64(c)
+		for _, m := range sendBuf[lo:hi] {
+			i := m.Dest*cw + cc
+			p := counts[i]
+			counts[i] = p + 1
+			val[p] = m.Value
+		}
+	})
+}
+
+// parCombineDeliver groups messages per destination with the stable sort,
+// then left-folds each destination's group in send order — the exact
+// combine order of the sequential path, for any combiner — and compacts
+// the folded values into the inbox in parallel over vertex ranges.
+func (s *runScratch) parCombineDeliver(sendBuf []Message, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
+	sent := len(sendBuf)
+	s.groupOff = ensureInt64(s.groupOff, int(n)+1)
+	s.groupVal = ensureInt64(s.groupVal, sent)
+	s.stableGroupByDest(sendBuf, n, s.groupOff, s.groupVal)
+	gOff, gVal := s.groupOff, s.groupVal
+
+	rcs := sweepChunkSize(int(n))
+	numR := (int(n) + rcs - 1) / rcs
+	s.rangeCnt = ensureInt64(s.rangeCnt, numR)
+	rangeCnt := s.rangeCnt
+	par.ForFixedChunks(int(n), rcs, func(r, lo, hi int) {
+		var cnt int64
+		for v := lo; v < hi; v++ {
+			if gOff[v+1] > gOff[v] {
+				cnt++
+			}
+		}
+		rangeCnt[r] = cnt
+	})
+	delivered := par.ExclusivePrefixSum(rangeCnt)
+
+	off := *inboxOff
+	val := ensureInt64(*inboxVal, int(delivered))
+	par.ForFixedChunks(int(n), rcs, func(r, lo, hi int) {
+		pos := rangeCnt[r]
+		for v := lo; v < hi; v++ {
+			off[v] = pos
+			glo, ghi := gOff[v], gOff[v+1]
+			if ghi > glo {
+				acc := gVal[glo]
+				for i := glo + 1; i < ghi; i++ {
+					acc = combine(acc, gVal[i])
+				}
+				val[pos] = acc
+				pos++
+			}
+		}
+	})
+	off[n] = delivered
+	*inboxVal = val
+	return delivered
+}
+
+// nextWorklist builds the next superstep's sparse-activation candidate
+// list — message receivers plus vertices that stayed awake, deduplicated,
+// in ascending vertex order — into the candidates backing array (cap n).
+//
+// Two equivalent strategies, chosen by deterministic quantities only:
+// large worklists use a parallel stamp-ordered dense sweep (ascending by
+// construction, O(n)); small ones stamp-deduplicate the receivers and wake
+// list and radix-sort, O(k) — the sort.Slice the sequential engine used is
+// gone entirely.
+func (s *runScratch) nextWorklist(candidates []int64, step int, wake []int64, delivered int64, sendBuf []Message, stamp []int64, n int64) []int64 {
+	st := int64(step)
+	msgStamp := s.msgStamp
+	if (delivered+int64(len(wake)))*4 >= n || int64(len(sendBuf)) >= n {
+		// Dense sweep: mark the wake set, then collect every vertex with a
+		// freshly stamped inbox or a fresh wake stamp, in index order.
+		// Wake entries are unique (a vertex runs at most once per
+		// superstep), so the stamp writes are disjoint.
+		par.ForChunked(len(wake), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				stamp[wake[i]] = st
+			}
+		})
+		rcs := sweepChunkSize(int(n))
+		numR := (int(n) + rcs - 1) / rcs
+		s.rangeCnt = ensureInt64(s.rangeCnt, numR)
+		rangeCnt := s.rangeCnt
+		par.ForFixedChunks(int(n), rcs, func(r, lo, hi int) {
+			var cnt int64
+			for v := lo; v < hi; v++ {
+				if msgStamp[v] == st || stamp[v] == st {
+					cnt++
+				}
+			}
+			rangeCnt[r] = cnt
+		})
+		k := par.ExclusivePrefixSum(rangeCnt)
+		out := candidates[:k]
+		par.ForFixedChunks(int(n), rcs, func(r, lo, hi int) {
+			pos := rangeCnt[r]
+			for v := lo; v < hi; v++ {
+				if msgStamp[v] == st || stamp[v] == st {
+					out[pos] = int64(v)
+					pos++
+				}
+			}
+		})
+		return out
+	}
+
+	out := candidates[:0]
+	for _, m := range sendBuf {
+		if stamp[m.Dest] != st {
+			stamp[m.Dest] = st
+			out = append(out, m.Dest)
+		}
+	}
+	for _, v := range wake {
+		if stamp[v] != st {
+			stamp[v] = st
+			out = append(out, v)
+		}
+	}
+	s.sortScratch = ensureInt64(s.sortScratch, len(out))
+	par.RadixSortInt64(out, s.sortScratch, n-1)
+	return out
+}

@@ -88,6 +88,66 @@ func ForChunked(n int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ForCoarse runs body(i) for every i in [0, n), potentially in parallel,
+// with one task per iteration. Unlike For, which assumes per-iteration work
+// is tiny and batches iterations by grainSize, ForCoarse is for
+// coarse-grained bodies (whole chunks, per-chunk merges) where even a
+// handful of iterations are worth distributing across workers.
+func ForCoarse(n int, body func(i int)) {
+	workers := maxProcs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForFixedChunks partitions [0, n) into chunks of exactly chunkSize (the
+// last chunk may be short) and runs body(c, lo, hi) for every chunk c,
+// potentially in parallel. The chunk boundaries depend only on n and
+// chunkSize — never on the worker count — so callers that accumulate
+// per-chunk partial results and merge them in chunk index order get output
+// that is bit-identical whether par runs on 1 or N host cores. This is the
+// deterministic-merge building block the BSP engine's host-parallel
+// supersteps are built on.
+func ForFixedChunks(n, chunkSize int, body func(c, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunkSize <= 0 {
+		chunkSize = grainSize
+	}
+	numChunks := (n + chunkSize - 1) / chunkSize
+	ForCoarse(numChunks, func(c int) {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		body(c, lo, hi)
+	})
+}
+
 // ReduceInt64 computes the sum of body(i) over i in [0, n) in parallel.
 func ReduceInt64(n int, body func(i int) int64) int64 {
 	var total int64
@@ -272,6 +332,104 @@ func ParallelExclusivePrefixSum(counts []int64) int64 {
 			for i := lo; i < hi; i++ {
 				v := counts[i]
 				counts[i] = run
+				run += v
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// RadixSortInt64 sorts a ascending with a stable LSD byte-radix pass,
+// O(len(a) * ceil(bits(maxVal)/8)) time. Keys must lie in [0, maxVal].
+// scratch must be at least len(a) long; it is clobbered. The sort is
+// sequential — it exists to replace comparison sorts on small worklists
+// (the BSP engine's sparse-activation candidate list), where O(k) beats
+// O(k log k) and the deterministic ascending order must be preserved.
+func RadixSortInt64(a, scratch []int64, maxVal int64) {
+	if len(a) < 2 {
+		return
+	}
+	var counts [256]int64
+	src, dst := a, scratch[:len(a)]
+	for shift := uint(0); shift == 0 || maxVal>>shift > 0; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, v := range src {
+			counts[(v>>shift)&0xff]++
+		}
+		var sum int64
+		for i, c := range counts {
+			counts[i] = sum
+			sum += c
+		}
+		for _, v := range src {
+			b := (v >> shift) & 0xff
+			dst[counts[b]] = v
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// ParallelExclusivePrefixSum32 is ParallelExclusivePrefixSum for int32
+// counts with an int64 total. The caller must ensure every prefix fits in
+// int32 (the BSP engine's message counts do: supersteps are capped well
+// below 2^31 messages).
+func ParallelExclusivePrefixSum32(counts []int32) int64 {
+	n := len(counts)
+	workers := maxProcs
+	if workers <= 1 || n < 4*grainSize {
+		return ExclusivePrefixSum32(counts)
+	}
+	chunks := workers * 4
+	chunkSize := (n + chunks - 1) / chunks
+	sums := make([]int64, chunks)
+
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo := c * chunkSize
+		if lo >= n {
+			break
+		}
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(counts[i])
+			}
+			sums[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	total := ExclusivePrefixSum(sums)
+
+	for c := 0; c < chunks; c++ {
+		lo := c * chunkSize
+		if lo >= n {
+			break
+		}
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			run := sums[c]
+			for i := lo; i < hi; i++ {
+				v := int64(counts[i])
+				counts[i] = int32(run)
 				run += v
 			}
 		}(c, lo, hi)

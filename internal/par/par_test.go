@@ -273,3 +273,120 @@ func BenchmarkParallelPrefixSum(b *testing.B) {
 		ParallelExclusivePrefixSum(scratch)
 	}
 }
+
+func TestForCoarseCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 17, 1000} {
+		for _, w := range []int{1, 4, 32} {
+			func() {
+				defer SetWorkers(SetWorkers(w))
+				hits := make([]int32, n)
+				ForCoarse(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d w=%d: index %d hit %d times", n, w, i, h)
+					}
+				}
+			}()
+		}
+	}
+}
+
+func TestForFixedChunksBoundaries(t *testing.T) {
+	// Chunk boundaries must be a pure function of (n, chunkSize): every
+	// index covered exactly once, every chunk exactly chunkSize long except
+	// the last, regardless of worker count.
+	for _, w := range []int{1, 5} {
+		func() {
+			defer SetWorkers(SetWorkers(w))
+			const n, cs = 1003, 100
+			hits := make([]int32, n)
+			var chunks int64
+			ForFixedChunks(n, cs, func(c, lo, hi int) {
+				atomic.AddInt64(&chunks, 1)
+				if lo != c*cs {
+					t.Errorf("chunk %d starts at %d, want %d", c, lo, c*cs)
+				}
+				if hi != lo+cs && hi != n {
+					t.Errorf("chunk %d ends at %d", c, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			if chunks != 11 {
+				t.Fatalf("w=%d: %d chunks, want 11", w, chunks)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("w=%d: index %d hit %d times", w, i, h)
+				}
+			}
+		}()
+	}
+}
+
+func TestParallelExclusivePrefixSum32MatchesSerial(t *testing.T) {
+	defer SetWorkers(SetWorkers(7))
+	n := 5*grainSize + 123
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 11)
+		b[i] = a[i]
+	}
+	totA := ExclusivePrefixSum32(a)
+	totB := ParallelExclusivePrefixSum32(b)
+	if totA != totB {
+		t.Fatalf("totals differ: %d vs %d", totA, totB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prefix[%d] = %d, want %d", i, b[i], a[i])
+		}
+	}
+}
+
+func TestRadixSortInt64(t *testing.T) {
+	for _, tc := range [][]int64{
+		{},
+		{5},
+		{3, 1, 2},
+		{0, 0, 0},
+		{1 << 40, 7, 1 << 20, 7, 0, 1<<40 - 1},
+	} {
+		a := append([]int64(nil), tc...)
+		scratch := make([]int64, len(a))
+		var max int64
+		for _, v := range a {
+			if v > max {
+				max = v
+			}
+		}
+		RadixSortInt64(a, scratch, max)
+		for i := 1; i < len(a); i++ {
+			if a[i-1] > a[i] {
+				t.Fatalf("not sorted: %v", a)
+			}
+		}
+		if len(a) != len(tc) {
+			t.Fatalf("length changed: %d vs %d", len(a), len(tc))
+		}
+	}
+}
+
+func TestRadixSortInt64Large(t *testing.T) {
+	const n = 10000
+	a := make([]int64, n)
+	state := uint64(12345)
+	for i := range a {
+		state = state*6364136223846793005 + 1442695040888963407
+		a[i] = int64(state % 100000)
+	}
+	scratch := make([]int64, n)
+	RadixSortInt64(a, scratch, 99999)
+	for i := 1; i < n; i++ {
+		if a[i-1] > a[i] {
+			t.Fatalf("not sorted at %d: %d > %d", i, a[i-1], a[i])
+		}
+	}
+}
