@@ -5,10 +5,13 @@
 // Usage:
 //
 //	bspgraph -g graph.gxmt -alg cc|bfs|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
-//	         [-src -1] [-procs 128] [-rounds 30]
+//	         [-src -1] [-procs 128] [-rounds 30] [-workers N]
+//	         [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
 //
 // SSSP requires a weighted graph (graphgen does not emit one; build via
-// the library or a weighted DIMACS file).
+// the library or a weighted DIMACS file). The -obs-* flags export host
+// runtime observability (see docs/OBSERVABILITY.md): per-superstep phase
+// spans, worker utilization, and memory samples.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"graphxmt/internal/graph"
 	"graphxmt/internal/graphio"
 	"graphxmt/internal/machine"
+	"graphxmt/internal/obs"
 	"graphxmt/internal/trace"
 )
 
@@ -31,10 +35,16 @@ func main() {
 	procs := flag.Int("procs", 128, "simulated processors")
 	rounds := flag.Int("rounds", 30, "pagerank supersteps")
 	profile := flag.String("profile", "", "write the recorded work profile as JSON to this path")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "bspgraph: -g is required")
+		os.Exit(2)
+	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bspgraph:", err)
 		os.Exit(2)
 	}
 	g, err := graphio.LoadFile(*path)
@@ -46,6 +56,7 @@ func main() {
 
 	model := machine.NewAnalytic(machine.DefaultConfig())
 	rec := trace.NewRecorder()
+	sess.Attach(rec, g.NumVertices(), g.NumEdges())
 	source := *src
 	if source < 0 {
 		source = maxDegreeVertex(g)
@@ -154,6 +165,7 @@ func main() {
 		exitOn(f.Close())
 		fmt.Println("work profile written to", *profile)
 	}
+	exitOn(sess.Close())
 }
 
 func exitOn(err error) {

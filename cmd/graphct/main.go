@@ -6,10 +6,13 @@
 // Usage:
 //
 //	graphct -g graph.gxmt -kernels degrees,cc,sv,bfs,tc,ccoef,kcore,pagerank,bc,stcon,lp,diameter \
-//	        [-src -1] [-dst 0] [-procs 128] [-samples 16]
+//	        [-src -1] [-dst 0] [-procs 128] [-samples 16] [-workers N]
+//	        [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
 //
 // Graphs with a .dimacs/.txt extension are parsed as DIMACS text;
-// everything else as the binary snapshot format.
+// everything else as the binary snapshot format. The -obs-* flags export
+// host runtime observability for each kernel's top-level phases (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"graphxmt/internal/graphct"
 	"graphxmt/internal/graphio"
 	"graphxmt/internal/machine"
+	"graphxmt/internal/obs"
 	"graphxmt/internal/trace"
 )
 
@@ -33,10 +37,16 @@ func main() {
 	dst := flag.Int64("dst", 0, "stcon target")
 	procs := flag.Int("procs", 128, "simulated processors")
 	samples := flag.Int("samples", 16, "betweenness sample count (0 = exact)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "graphct: -g is required")
+		os.Exit(2)
+	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphct:", err)
 		os.Exit(2)
 	}
 	g, err := graphio.LoadFile(*path)
@@ -54,6 +64,7 @@ func main() {
 
 	for _, k := range strings.Split(*kernels, ",") {
 		rec := trace.NewRecorder()
+		sess.Attach(rec, g.NumVertices(), g.NumEdges())
 		switch strings.TrimSpace(k) {
 		case "degrees":
 			s := graphct.Degrees(g, rec)
@@ -111,6 +122,10 @@ func main() {
 		}
 		fmt.Printf("        simulated time on %d procs: %.4fs\n",
 			*procs, machine.Seconds(model, rec.Phases(), *procs))
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphct:", err)
+		os.Exit(1)
 	}
 }
 

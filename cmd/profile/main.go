@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"graphxmt/internal/machine"
+	"graphxmt/internal/obs"
 	"graphxmt/internal/trace"
 )
 
@@ -30,11 +31,33 @@ func main() {
 	hotspot := flag.Int("hotspot", 0, "override hotspot cycles per fetch-and-add (0 = default)")
 	modelName := flag.String("model", "analytic", "machine model: analytic or des")
 	phases := flag.Bool("phases", false, "print per-phase times and regime diagnosis")
+	workers := obs.AddWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "profile: -in is required")
 		os.Exit(2)
+	}
+	// Machine overrides are cycle counts: negative values describe no
+	// machine and silently behaving like "default" would hide typos.
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "profile: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *latency < 0 {
+		usage("-latency must be >= 0 cycles (0 = default), got %d", *latency)
+	}
+	if *streams < 0 {
+		usage("-streams must be >= 0 (0 = default), got %d", *streams)
+	}
+	if *hotspot < 0 {
+		usage("-hotspot must be >= 0 cycles (0 = default), got %d", *hotspot)
+	}
+	if *procs <= 0 {
+		usage("-procs must be > 0, got %d", *procs)
+	}
+	if _, err := workers.Start(); err != nil {
+		usage("%v", err)
 	}
 	f, err := os.Open(*in)
 	if err != nil {

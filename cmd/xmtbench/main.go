@@ -9,6 +9,7 @@
 //
 //	xmtbench [-exp all|table1|fig1|fig2|fig3|fig4|aux|ablation]
 //	         [-scale 16] [-ef 16] [-seed 1] [-procs 128] [-model analytic|des]
+//	         [-workers N] [-obs-format report|jsonl|chrome] [-obs-out out] [-pprof addr|file]
 //
 // The paper's graph is scale 24 / edge factor 16; the default scale 16
 // keeps the triangle-counting experiment laptop-sized (see EXPERIMENTS.md
@@ -27,6 +28,7 @@ import (
 	"graphxmt/internal/experiments"
 	"graphxmt/internal/graph500"
 	"graphxmt/internal/machine"
+	"graphxmt/internal/obs"
 )
 
 func main() {
@@ -37,7 +39,17 @@ func main() {
 	procs := flag.Int("procs", 128, "simulated machine size in processors")
 	model := flag.String("model", "analytic", "machine model: analytic or des")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmtbench:", err)
+		os.Exit(2)
+	}
+	// Experiments build their recorders internally, so observers are
+	// attached via the process-wide recorder factory.
+	sess.InstallFactory()
 
 	setup := experiments.Setup{
 		Scale:      *scale,
@@ -194,6 +206,9 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "xmtbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if err := sess.Close(); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("done in %v (host time; reported numbers are simulated XMT seconds)\n",
 		time.Since(start).Round(time.Millisecond))

@@ -18,6 +18,7 @@ import (
 	"graphxmt/internal/core"
 	"graphxmt/internal/gen"
 	"graphxmt/internal/graph"
+	"graphxmt/internal/obs"
 	"graphxmt/internal/par"
 )
 
@@ -147,5 +148,26 @@ func BenchmarkEngineSparseRelay(b *testing.B) {
 		Program:          benchRelay{hops: 1024, n: n},
 		SparseActivation: true,
 		MaxSupersteps:    2000,
+	})
+}
+
+// Observability-attached variants of the engine benchmarks. Compare against
+// the plain benchmarks above to measure the observed-run cost; the nil-sink
+// case is the plain benchmarks themselves (Config.Obs nil), which the
+// instrumentation must leave within noise (<2%).
+func BenchmarkEngineDenseFloodObs(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}, Obs: obs.NewReport()})
+}
+
+func BenchmarkEngineSparseRelayObs(b *testing.B) {
+	const n = 1 << 16
+	g := gen.Ring(n)
+	benchRun(b, core.Config{
+		Graph:            g,
+		Program:          benchRelay{hops: 1024, n: n},
+		SparseActivation: true,
+		MaxSupersteps:    2000,
+		Obs:              obs.NewReport(),
 	})
 }

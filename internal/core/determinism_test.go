@@ -14,6 +14,7 @@ import (
 	"graphxmt/internal/core"
 	"graphxmt/internal/gen"
 	"graphxmt/internal/graph"
+	"graphxmt/internal/obs"
 	"graphxmt/internal/par"
 	"graphxmt/internal/trace"
 )
@@ -31,7 +32,10 @@ func detGraph(t *testing.T) *graph.Graph {
 }
 
 // runDet executes cfg (with a fresh program from mk, since some programs
-// carry per-run state) under w workers and returns result + profile.
+// carry per-run state) under w workers and returns result + profile. Every
+// run carries an observability sink: attaching one must never change the
+// Result or the recorded profile, so the determinism assertions double as
+// the obs-is-passive guarantee.
 func runDet(t *testing.T, g *graph.Graph, w int, mk func() core.Config) (*core.Result, []*trace.Phase) {
 	t.Helper()
 	defer par.SetWorkers(par.SetWorkers(w))
@@ -39,6 +43,7 @@ func runDet(t *testing.T, g *graph.Graph, w int, mk func() core.Config) (*core.R
 	cfg := mk()
 	cfg.Graph = g
 	cfg.Recorder = rec
+	cfg.Obs = obs.NewReport()
 	res, err := core.Run(cfg)
 	if err != nil {
 		t.Fatal(err)

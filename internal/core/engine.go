@@ -39,8 +39,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"graphxmt/internal/graph"
+	"graphxmt/internal/obs"
 	"graphxmt/internal/par"
 	"graphxmt/internal/trace"
 )
@@ -86,6 +88,15 @@ type Config struct {
 	// Algorithms that exceed it (BSP triangle counting at scale) must use
 	// a streaming evaluator instead; the engine returns an error.
 	MaxMessagesPerSuperstep int64
+	// Obs receives host-runtime observability events: wall-clock spans
+	// for each engine phase of each superstep, per-worker busy time,
+	// per-superstep counters, and sampled memory statistics (package
+	// obs). nil disables observability at zero hot-path cost; in that
+	// case Run also accepts a sink attached to Recorder via an
+	// obs.SinkProvider observer, so CLIs can wire observability through
+	// the recorder they already pass around. Observability never affects
+	// Result or the recorded work profile.
+	Obs obs.Sink
 	// SparseActivation switches the runtime from the paper's full
 	// per-superstep vertex scan to an active-worklist schedule: only
 	// vertices that received messages or stayed awake are inspected. The
@@ -144,11 +155,22 @@ func Run(cfg Config) (*Result, error) {
 		States:     make([]int64, n),
 		Aggregates: map[string]int64{},
 	}
+	// o is the observability state; nil (no sink) costs one pointer check
+	// per hook below. tObs is only written/read when o != nil.
+	o := startObs(&cfg, g)
+	var tObs time.Time
+	if o != nil {
+		defer o.finish()
+		tObs = time.Now()
+	}
 	par.ForChunked(int(n), func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			res.States[v] = cfg.Program.InitialState(g, int64(v))
 		}
 	})
+	if o != nil {
+		o.phase(obsPhaseInit, -1, tObs)
+	}
 
 	halted := make([]bool, n)
 	// live tracks the number of non-halted vertices incrementally (via
@@ -225,6 +247,9 @@ func Run(cfg Config) (*Result, error) {
 			ib.stamp, ib.lo, ib.hi = scratch.msgStamp, scratch.msgLo, scratch.msgHi
 			ib.st = int64(step) - 1 // what the previous superstep delivered
 		}
+		if o != nil {
+			tObs = time.Now()
+		}
 		if par.Workers() == 1 {
 			// Serial fast path: chunks run in index order anyway, so thread
 			// one shared send buffer through them — appending in chunk order
@@ -255,6 +280,11 @@ func Run(cfg Config) (*Result, error) {
 				cs.eng.sendBuf = nil
 			}
 			sendBuf = buf
+			if o != nil {
+				// The serial sweep bypasses par entirely; its busy time is
+				// the engine goroutine's, folded to worker 0.
+				o.timer.Add(0, time.Since(tObs))
+			}
 		} else {
 			par.ForFixedChunks(count, chunkSize, func(c, lo, hi int) {
 				cs := scratch.chunks[c]
@@ -270,6 +300,10 @@ func Run(cfg Config) (*Result, error) {
 				}
 			})
 			sendBuf = scratch.concatSends(sendBuf, numChunks)
+		}
+		if o != nil {
+			o.phase(obsPhaseCompute, step, tObs)
+			tObs = time.Now()
 		}
 
 		// Deterministic merge of the chunk partials.
@@ -306,22 +340,49 @@ func Run(cfg Config) (*Result, error) {
 			master.prevAggregates = snap
 		}
 
+		if o != nil {
+			o.phase(obsPhaseTerminate, step, tObs)
+		}
 		if sent == 0 && live == 0 {
+			if o != nil {
+				o.step(obs.StepStats{
+					Step: step, Active: active, Sent: sent, Received: received,
+					ScratchBytes: scratch.scratchBytes(sendBuf, inboxOff, inboxVal, candidates, stamp),
+				})
+			}
 			break
 		}
 
 		// Deliver: counting sort the send buffer into per-vertex inboxes,
 		// applying the combiner if configured.
+		if o != nil {
+			tObs = time.Now()
+		}
 		delivered := scratch.deliver(sendBuf, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, int64(step))
 		res.DeliveredPerStep = append(res.DeliveredPerStep, delivered)
 		ph.AddTasks(0, 0, costs.DeliverLoadsPerMsg*sent, costs.DeliverStoresPerMsg*sent)
+		if o != nil {
+			o.phase(obsPhaseDeliver, step, tObs)
+		}
 
 		if cfg.SparseActivation {
 			// Next worklist: message receivers plus vertices that stayed
 			// awake, deduplicated and in ascending order for deterministic
 			// execution.
+			if o != nil {
+				tObs = time.Now()
+			}
 			wake := scratch.mergeWake(numChunks)
 			candidates = scratch.nextWorklist(candidates, step, wake, delivered, sendBuf, stamp, n)
+			if o != nil {
+				o.phase(obsPhaseWorklist, step, tObs)
+			}
+		}
+		if o != nil {
+			o.step(obs.StepStats{
+				Step: step, Active: active, Sent: sent, Delivered: delivered, Received: received,
+				ScratchBytes: scratch.scratchBytes(sendBuf, inboxOff, inboxVal, candidates, stamp),
+			})
 		}
 	}
 	for name, agg := range master.aggregates {

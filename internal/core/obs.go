@@ -1,0 +1,150 @@
+package core
+
+// Host-runtime observability hooks for the BSP engine. Everything here is
+// gated on a single *obsRun pointer: a nil sink yields a nil *obsRun, and
+// every per-superstep hook is one pointer comparison — no time syscalls,
+// no allocation, no atomic traffic on the hot path (benchmark-verified
+// against the engine benchmarks). Observability reads only values the
+// engine computes anyway, so Result and the recorded XMT profile are
+// bit-identical with or without a sink (see determinism_test.go).
+
+import (
+	"runtime"
+	"time"
+
+	"graphxmt/internal/graph"
+	"graphxmt/internal/obs"
+	"graphxmt/internal/par"
+)
+
+// Engine obs phase names: the host-side structure of one superstep, in
+// execution order, mirroring parallel.go. "init" (step -1) is the
+// InitialState sweep before superstep 0.
+const (
+	obsPhaseInit      = "init"
+	obsPhaseCompute   = "compute"   // chunked Compute sweep + send-buffer concat
+	obsPhaseTerminate = "terminate" // chunk-partial merges + live-count termination check
+	obsPhaseDeliver   = "deliver"   // counting-sort delivery / combining
+	obsPhaseWorklist  = "worklist"  // sparse-activation worklist build
+)
+
+// EnginePhases returns the obs span names Run emits for each superstep, in
+// execution order ("worklist" only under SparseActivation). The "init"
+// span (step -1) precedes superstep 0.
+func EnginePhases() []string {
+	return []string{obsPhaseCompute, obsPhaseTerminate, obsPhaseDeliver, obsPhaseWorklist}
+}
+
+// obsMemSampleEvery is the superstep interval between runtime.MemStats
+// samples (ReadMemStats briefly stops the world, so sampling every
+// superstep would distort short-superstep runs).
+const obsMemSampleEvery = 8
+
+type obsRun struct {
+	sink      obs.Sink
+	start     time.Time
+	timer     *par.WorkerTimer
+	prevTimer *par.WorkerTimer
+	workers   int
+	lastStep  int
+}
+
+// runSink resolves the sink for a run: Config.Obs, or the sink carried by
+// the recorder's observer (how CLIs attach observability without plumbing
+// it through the bspalg wrappers).
+func runSink(cfg *Config) obs.Sink {
+	if cfg.Obs != nil {
+		return cfg.Obs
+	}
+	if p, ok := cfg.Recorder.Observer().(obs.SinkProvider); ok {
+		return p.ObsSink()
+	}
+	return nil
+}
+
+// startObs opens an observed run; a nil return is the disabled state every
+// hook checks.
+func startObs(cfg *Config, g *graph.Graph) *obsRun {
+	sink := runSink(cfg)
+	if sink == nil {
+		return nil
+	}
+	w := par.Workers()
+	o := &obsRun{
+		sink:    sink,
+		start:   time.Now(),
+		timer:   par.NewWorkerTimer(w),
+		workers: w,
+	}
+	o.prevTimer = par.SetTimer(o.timer)
+	sink.RunStart(obs.RunInfo{
+		Label:    "bsp",
+		Workers:  w,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+	})
+	return o
+}
+
+// phase emits the span [t0, now) under name, carrying the per-worker busy
+// time folded since the previous phase boundary.
+func (o *obsRun) phase(name string, step int, t0 time.Time) {
+	busy := o.timer.Drain(make([]time.Duration, o.workers))
+	o.sink.Span(obs.Span{
+		Name:       name,
+		Step:       step,
+		Start:      t0.Sub(o.start),
+		Dur:        time.Since(t0),
+		WorkerBusy: busy,
+	})
+}
+
+// step emits the superstep counters and, every obsMemSampleEvery
+// supersteps, a MemStats sample.
+func (o *obsRun) step(st obs.StepStats) {
+	o.lastStep = st.Step
+	o.sink.Step(st)
+	if st.Step%obsMemSampleEvery == 0 {
+		o.sampleMem(st.Step)
+	}
+}
+
+func (o *obsRun) sampleMem(step int) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	o.sink.Mem(obs.MemSample{
+		Step:       step,
+		At:         time.Since(o.start),
+		HeapAlloc:  ms.HeapAlloc,
+		HeapSys:    ms.HeapSys,
+		NumGC:      ms.NumGC,
+		PauseTotal: time.Duration(ms.PauseTotalNs),
+	})
+}
+
+// finish restores the previous worker timer, takes a final memory sample,
+// and closes the run. Deferred from Run so error exits also restore state.
+func (o *obsRun) finish() {
+	par.SetTimer(o.prevTimer)
+	o.sampleMem(o.lastStep)
+	o.sink.RunEnd(time.Since(o.start))
+}
+
+// scratchBytes approximates the engine's reusable scratch footprint: the
+// run-level buffers plus every chunk's private send buffer and wake list.
+// Called once per superstep, and only when a sink is attached.
+func (s *runScratch) scratchBytes(sendBuf []Message, inboxOff, inboxVal, candidates, stamp []int64) int64 {
+	const msgSize = 16 // Message: two int64s
+	b := int64(cap(sendBuf)) * msgSize
+	b += int64(cap(inboxOff)+cap(inboxVal)+cap(candidates)+cap(stamp)) * 8
+	b += int64(cap(s.sendOff)) * 8
+	b += int64(cap(s.wake)+cap(s.next)+cap(s.acc)) * 8
+	b += int64(cap(s.has))
+	b += int64(cap(s.counts)) * 4
+	b += int64(cap(s.groupOff)+cap(s.groupVal)+cap(s.rangeCnt)+cap(s.sortScratch)) * 8
+	b += int64(cap(s.msgStamp)+cap(s.msgLo)+cap(s.msgHi)+cap(s.recvList)) * 8
+	for _, cs := range s.chunks {
+		b += int64(cap(cs.eng.sendBuf))*msgSize + int64(cap(cs.wake))*8
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome exports the event stream in the Chrome trace-event format (JSON
+// object form, "traceEvents" array of duration/counter/metadata events) —
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. The layout:
+//
+//   - tid 0 ("engine") carries one complete ("X") event per superstep
+//     phase, plus counter tracks for active vertices / messages / heap.
+//   - tid w+1 ("worker w") carries one complete event per phase whose
+//     duration is that worker's busy time within the phase — one track
+//     per host worker, so a starved worker is visible as a short bar
+//     against the engine's full-phase bar above it.
+//
+// Timestamps are microseconds on a single process clock, so consecutive
+// runs (e.g. graphct kernel workflows) land on one shared timeline.
+type Chrome struct {
+	bw      *bufio.Writer
+	base    time.Time
+	runBase time.Duration
+	label   string
+
+	headerDone bool
+	first      bool
+	threads    int // worker tracks emitted so far
+	err        error
+}
+
+// NewChrome returns a sink writing to w. Call Close to finish the JSON.
+func NewChrome(w io.Writer) *Chrome {
+	return &Chrome{bw: bufio.NewWriter(w), base: time.Now(), first: true}
+}
+
+// chromeEvent is one trace event. dur is always emitted — a zero-duration
+// busy span means "this worker was idle for the whole phase", which must
+// stay distinguishable from a malformed event with no duration at all.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (c *Chrome) emit(ev chromeEvent) {
+	if c.err != nil {
+		return
+	}
+	if !c.headerDone {
+		if _, c.err = c.bw.WriteString(`{"traceEvents":[` + "\n"); c.err != nil {
+			return
+		}
+		c.headerDone = true
+	}
+	if !c.first {
+		if _, c.err = c.bw.WriteString(",\n"); c.err != nil {
+			return
+		}
+	}
+	c.first = false
+	b, err := json.Marshal(ev)
+	if err != nil {
+		c.err = err
+		return
+	}
+	_, c.err = c.bw.Write(b)
+}
+
+func (c *Chrome) meta(tid int, key, name string) {
+	c.emit(chromeEvent{Name: key, Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]any{"name": name}})
+	c.emit(chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]any{"sort_index": tid}})
+}
+
+// RunStart implements Sink.
+func (c *Chrome) RunStart(info RunInfo) {
+	c.runBase = time.Since(c.base)
+	c.label = info.Label
+	if c.threads == 0 {
+		c.emit(chromeEvent{Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+			Args: map[string]any{"name": "graphxmt"}})
+		c.meta(0, "thread_name", "engine")
+	}
+	for c.threads < info.Workers {
+		c.meta(c.threads+1, "thread_name", fmt.Sprintf("worker %d", c.threads))
+		c.threads++
+	}
+	c.emit(chromeEvent{Name: "run:" + info.Label, Ph: "i", Ts: us(c.runBase),
+		Pid: 1, Tid: 0, Args: map[string]any{
+			"workers": info.Workers, "vertices": info.Vertices, "edges": info.Edges,
+		}})
+}
+
+// Span implements Sink.
+func (c *Chrome) Span(s Span) {
+	ts := us(c.runBase + s.Start)
+	c.emit(chromeEvent{Name: s.Name, Ph: "X", Cat: "phase", Ts: ts,
+		Dur: us(s.Dur), Pid: 1, Tid: 0,
+		Args: map[string]any{"step": s.Step, "run": c.label}})
+	for w, b := range s.WorkerBusy {
+		c.emit(chromeEvent{Name: s.Name, Ph: "X", Cat: "busy", Ts: ts,
+			Dur: us(b), Pid: 1, Tid: w + 1,
+			Args: map[string]any{"step": s.Step}})
+	}
+}
+
+// Step implements Sink.
+func (c *Chrome) Step(st StepStats) {
+	// Counters are stamped at emission time (end of the superstep).
+	now := us(time.Since(c.base))
+	c.emit(chromeEvent{Name: "superstep", Ph: "C", Ts: now, Pid: 1, Tid: 0,
+		Args: map[string]any{"active": st.Active, "sent": st.Sent, "delivered": st.Delivered}})
+	c.emit(chromeEvent{Name: "scratch_bytes", Ph: "C", Ts: now, Pid: 1, Tid: 0,
+		Args: map[string]any{"bytes": st.ScratchBytes}})
+}
+
+// Mem implements Sink.
+func (c *Chrome) Mem(m MemSample) {
+	now := us(c.runBase + m.At)
+	c.emit(chromeEvent{Name: "heap", Ph: "C", Ts: now, Pid: 1, Tid: 0,
+		Args: map[string]any{"alloc": m.HeapAlloc, "sys": m.HeapSys}})
+}
+
+// RunEnd implements Sink.
+func (c *Chrome) RunEnd(wall time.Duration) {
+	c.emit(chromeEvent{Name: "run_end:" + c.label, Ph: "i",
+		Ts: us(c.runBase + wall), Pid: 1, Tid: 0})
+}
+
+// Close terminates the traceEvents array and flushes.
+func (c *Chrome) Close() error {
+	if c.err == nil && !c.headerDone {
+		// No events at all: still produce a valid, empty trace.
+		_, c.err = c.bw.WriteString(`{"traceEvents":[`)
+		c.headerDone = true
+	}
+	if c.err == nil {
+		_, c.err = c.bw.WriteString("\n]," + `"displayTimeUnit":"ms"}` + "\n")
+	}
+	if err := c.bw.Flush(); c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// ValidateChromeTrace checks that r holds a structurally valid trace-event
+// file as emitted by Chrome: a traceEvents array whose complete events
+// carry name/ts/dur/pid/tid, whose tids are all named by thread_name
+// metadata, with an engine track of non-overlapping phase spans and one
+// named track per worker, each carrying at least one span. It is the
+// schema check CI runs against a bspgraph-produced trace.
+func ValidateChromeTrace(r io.Reader) error {
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+
+	threadNames := map[int]string{}
+	type span struct{ ts, dur float64 }
+	var engine []span
+	spansPerTid := map[int]int{}
+	for i, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" && ev.Tid != nil {
+				name, _ := ev.Args["name"].(string)
+				threadNames[*ev.Tid] = name
+			}
+		case "X":
+			if ev.Name == "" || ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+				return fmt.Errorf("obs: event %d: complete event missing name/ts/dur/pid/tid", i)
+			}
+			if *ev.Dur < 0 {
+				return fmt.Errorf("obs: event %d: negative duration", i)
+			}
+			spansPerTid[*ev.Tid]++
+			if *ev.Tid == 0 {
+				if _, ok := ev.Args["step"]; !ok {
+					return fmt.Errorf("obs: event %d: engine span %q has no step arg", i, ev.Name)
+				}
+				engine = append(engine, span{*ev.Ts, *ev.Dur})
+			}
+		case "C", "i", "I":
+			if ev.Ts == nil {
+				return fmt.Errorf("obs: event %d: %q event missing ts", i, ev.Ph)
+			}
+		case "":
+			return fmt.Errorf("obs: event %d: missing ph", i)
+		}
+	}
+
+	if threadNames[0] != "engine" {
+		return fmt.Errorf("obs: no engine track (tid 0 thread_name)")
+	}
+	workers := 0
+	for tid, name := range threadNames {
+		if tid == 0 {
+			continue
+		}
+		want := fmt.Sprintf("worker %d", tid-1)
+		if name != want {
+			return fmt.Errorf("obs: tid %d named %q, want %q", tid, name, want)
+		}
+		workers++
+	}
+	if workers == 0 {
+		return fmt.Errorf("obs: no worker tracks")
+	}
+	for tid := 1; tid <= workers; tid++ {
+		if _, ok := threadNames[tid]; !ok {
+			return fmt.Errorf("obs: worker tids not contiguous: missing tid %d", tid)
+		}
+		if spansPerTid[tid] == 0 {
+			return fmt.Errorf("obs: worker track tid %d has no spans", tid)
+		}
+	}
+	for tid := range spansPerTid {
+		if _, ok := threadNames[tid]; !ok {
+			return fmt.Errorf("obs: spans on unnamed tid %d", tid)
+		}
+	}
+	if len(engine) == 0 {
+		return fmt.Errorf("obs: engine track has no phase spans")
+	}
+	// Engine phases execute sequentially, so their spans must not overlap.
+	sort.Slice(engine, func(a, b int) bool { return engine[a].ts < engine[b].ts })
+	const epsilon = 1.0 // µs of timer slop
+	for i := 1; i < len(engine); i++ {
+		if engine[i].ts+epsilon < engine[i-1].ts+engine[i-1].dur {
+			return fmt.Errorf("obs: engine spans overlap at ts=%.1fµs", engine[i].ts)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package obs is the host-runtime observability layer: where package trace
+// records the *simulated* Cray XMT cost of a kernel, obs records what the
+// host actually did while executing it — wall-clock spans for every engine
+// phase of every superstep, per-worker busy time folded from package par's
+// chunk-level timing, per-superstep counters, and sampled runtime.MemStats.
+// It exists to answer the questions the simulated profile cannot: where
+// does host wall-clock time go as the frontier grows and shrinks, and why
+// is w=8 not 8x faster than w=1.
+//
+// Producers emit events into a Sink; three sinks are provided:
+//
+//   - Report: an in-memory aggregator that renders a human-readable run
+//     report (per-superstep phase table + worker-utilization summary — the
+//     host-side analogue of the paper's Figures 1-2).
+//   - JSONL: a line-delimited JSON event stream for ad-hoc tooling.
+//   - Chrome: a Chrome trace-event file (load it in Perfetto or
+//     chrome://tracing) with one track per host worker.
+//
+// A nil Sink disables observability at zero hot-path cost: producers guard
+// every hook on a single pointer and allocate nothing when it is nil.
+// Observability never changes results — spans and counters are derived
+// from values the engine computes anyway, and the par.WorkerTimer only
+// measures, so a run's Result and recorded XMT profile are bit-identical
+// with or without a sink attached (asserted by core's determinism tests).
+//
+// Sink methods are invoked from the observed kernel's driving goroutine
+// only — never from par workers — so sinks need no internal locking, but
+// they must copy any slice they retain (Span.WorkerBusy is reused).
+package obs
+
+import "time"
+
+// RunInfo opens one observed run (one BSP execution or one shared-memory
+// kernel invocation).
+type RunInfo struct {
+	// Label names the run: "bsp" for engine runs, the kernel's phase-name
+	// prefix ("cc", "bfs", ...) for recorder-derived kernel runs.
+	Label string
+	// Workers is the host worker count (par.Workers()) for the run.
+	Workers int
+	// Vertices and Edges describe the input graph; zero when unknown.
+	Vertices, Edges int64
+}
+
+// Span is one wall-clock phase of one superstep (or kernel iteration).
+type Span struct {
+	// Name is the phase name. The BSP engine emits "init", "compute",
+	// "terminate", "deliver" and "worklist" (see core.EnginePhases);
+	// recorder-derived kernel spans carry the trace phase name ("cc/iter",
+	// "bfs/level", ...), cross-linking the span to the recorded profile.
+	Name string
+	// Step is the superstep / iteration index; -1 for run-level spans.
+	Step int
+	// Start is the span's start, relative to the run's start.
+	Start time.Duration
+	// Dur is the span's wall-clock duration.
+	Dur time.Duration
+	// WorkerBusy holds each worker's busy time within the span, folded
+	// from par's chunk-level timing. Busy far below Dur on a parallel
+	// phase means the workers were starved (or the phase ran its
+	// sequential path). Nil when no per-worker timing was collected; only
+	// valid during the Span call — sinks must copy to retain.
+	WorkerBusy []time.Duration
+}
+
+// StepStats are one superstep's counters, emitted once per superstep after
+// its phases.
+type StepStats struct {
+	Step int
+	// Active is the number of vertices that ran Compute.
+	Active int64
+	// Sent is the number of messages sent (before combining).
+	Sent int64
+	// Delivered is the number of messages delivered into inboxes (after
+	// combining); zero on the terminal superstep, which delivers nothing.
+	Delivered int64
+	// Received is the number of messages consumed from inboxes.
+	Received int64
+	// ScratchBytes approximates the engine's reusable scratch footprint
+	// (send buffers, inbox CSR, delivery counters, worklists).
+	ScratchBytes int64
+}
+
+// MemSample is a sampled runtime.MemStats snapshot.
+type MemSample struct {
+	// Step is the superstep at which the sample was taken.
+	Step int
+	// At is the sample time relative to the run's start.
+	At time.Duration
+	// HeapAlloc and HeapSys are bytes of allocated and OS-reserved heap.
+	HeapAlloc, HeapSys uint64
+	// NumGC is the cumulative collection count.
+	NumGC uint32
+	// PauseTotal is the cumulative stop-the-world pause time.
+	PauseTotal time.Duration
+}
+
+// Sink receives one run's observability events: RunStart, then any mix of
+// Span / Step / Mem, then RunEnd. Sinks may observe several runs in
+// sequence (one per kernel, or one per BSP execution inside a composite
+// algorithm like betweenness).
+type Sink interface {
+	RunStart(RunInfo)
+	Span(Span)
+	Step(StepStats)
+	Mem(MemSample)
+	RunEnd(wall time.Duration)
+}
+
+// SinkProvider is implemented by recorder observers that carry a Sink; the
+// BSP engine uses it to discover the sink attached to its trace.Recorder
+// when Config.Obs is nil, so CLIs can attach observability once without
+// threading it through every algorithm wrapper.
+type SinkProvider interface {
+	ObsSink() Sink
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report is the in-memory aggregating sink: it folds the event stream into
+// per-run, per-superstep tables and renders a human-readable run report —
+// the host-side analogue of the paper's per-phase figures, but in wall
+// clock instead of simulated cycles.
+type Report struct {
+	// MaxRows bounds the per-superstep table; longer runs elide the
+	// middle. 0 selects 48.
+	MaxRows int
+
+	runs []*reportRun
+	cur  *reportRun
+}
+
+type reportRun struct {
+	info RunInfo
+	wall time.Duration
+
+	phaseOrder  []string
+	phaseTotals map[string]time.Duration
+	busyTotals  []time.Duration
+
+	steps   []*stepRow
+	stepIdx map[int]int
+
+	memFirst, memLast MemSample
+	memPeak           uint64
+	memSamples        int
+}
+
+type stepRow struct {
+	step                    int
+	active, sent, delivered int64
+	scratch                 int64
+	hasStats                bool
+	phases                  map[string]time.Duration
+}
+
+// NewReport returns an empty report sink.
+func NewReport() *Report { return &Report{} }
+
+// RunStart implements Sink.
+func (r *Report) RunStart(info RunInfo) {
+	r.cur = &reportRun{
+		info:        info,
+		phaseTotals: map[string]time.Duration{},
+		stepIdx:     map[int]int{},
+	}
+	r.runs = append(r.runs, r.cur)
+}
+
+func (r *reportRun) row(step int) *stepRow {
+	if i, ok := r.stepIdx[step]; ok {
+		return r.steps[i]
+	}
+	row := &stepRow{step: step, phases: map[string]time.Duration{}}
+	r.stepIdx[step] = len(r.steps)
+	r.steps = append(r.steps, row)
+	return row
+}
+
+// Span implements Sink.
+func (r *Report) Span(s Span) {
+	run := r.cur
+	if run == nil {
+		return
+	}
+	if _, seen := run.phaseTotals[s.Name]; !seen {
+		run.phaseOrder = append(run.phaseOrder, s.Name)
+	}
+	run.phaseTotals[s.Name] += s.Dur
+	for len(run.busyTotals) < len(s.WorkerBusy) {
+		run.busyTotals = append(run.busyTotals, 0)
+	}
+	for w, b := range s.WorkerBusy {
+		run.busyTotals[w] += b
+	}
+	if s.Step >= 0 {
+		run.row(s.Step).phases[s.Name] += s.Dur
+	}
+}
+
+// Step implements Sink.
+func (r *Report) Step(st StepStats) {
+	run := r.cur
+	if run == nil {
+		return
+	}
+	row := run.row(st.Step)
+	row.active, row.sent, row.delivered = st.Active, st.Sent, st.Delivered
+	row.scratch = st.ScratchBytes
+	row.hasStats = true
+}
+
+// Mem implements Sink.
+func (r *Report) Mem(m MemSample) {
+	run := r.cur
+	if run == nil {
+		return
+	}
+	if run.memSamples == 0 {
+		run.memFirst = m
+	}
+	run.memLast = m
+	if m.HeapAlloc > run.memPeak {
+		run.memPeak = m.HeapAlloc
+	}
+	run.memSamples++
+}
+
+// RunEnd implements Sink.
+func (r *Report) RunEnd(wall time.Duration) {
+	if r.cur != nil {
+		r.cur.wall = wall
+		r.cur = nil
+	}
+}
+
+// Render writes the report for every observed run.
+func (r *Report) Render(w io.Writer) error {
+	maxRows := r.MaxRows
+	if maxRows <= 0 {
+		maxRows = 48
+	}
+	for i, run := range r.runs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := run.render(w, maxRows); err != nil {
+			return err
+		}
+	}
+	if len(r.runs) == 0 {
+		_, err := fmt.Fprintln(w, "obs: no runs observed")
+		return err
+	}
+	return nil
+}
+
+func (r *reportRun) render(w io.Writer, maxRows int) error {
+	fmt.Fprintf(w, "== run %q: %d workers", r.info.Label, r.info.Workers)
+	if r.info.Vertices > 0 {
+		fmt.Fprintf(w, ", %d vertices, %d edges", r.info.Vertices, r.info.Edges)
+	}
+	fmt.Fprintf(w, ", wall %s ==\n", fmtDur(r.wall))
+
+	// Per-superstep table: counters first, then one column per phase in
+	// first-seen order.
+	fmt.Fprintf(w, "%6s %10s %10s %10s %9s", "step", "active", "sent", "delivered", "scratch")
+	for _, name := range r.phaseOrder {
+		fmt.Fprintf(w, " %10s", tail(name, 10))
+	}
+	fmt.Fprintln(w)
+	rows := r.steps
+	elided := 0
+	if len(rows) > maxRows {
+		head := maxRows * 3 / 4
+		tail := maxRows - head
+		elided = len(rows) - head - tail
+		printRows(w, rows[:head], r.phaseOrder)
+		fmt.Fprintf(w, "%6s  ... %d supersteps elided ...\n", "", elided)
+		rows = rows[len(rows)-tail:]
+	}
+	printRows(w, rows, r.phaseOrder)
+
+	// Phase totals with share of wall time.
+	fmt.Fprintf(w, "phases:")
+	for _, name := range r.phaseOrder {
+		d := r.phaseTotals[name]
+		share := 0.0
+		if r.wall > 0 {
+			share = 100 * float64(d) / float64(r.wall)
+		}
+		fmt.Fprintf(w, "  %s %s (%.0f%%)", name, fmtDur(d), share)
+	}
+	fmt.Fprintln(w)
+
+	// Worker utilization: busy folded from par's chunk timing, divided by
+	// run wall time. Low numbers on a multi-worker run mean the phases ran
+	// sequential paths or the workers starved.
+	if len(r.busyTotals) > 0 {
+		fmt.Fprintf(w, "worker busy/wall:")
+		for wkr, b := range r.busyTotals {
+			util := 0.0
+			if r.wall > 0 {
+				util = 100 * float64(b) / float64(r.wall)
+			}
+			fmt.Fprintf(w, "  w%d %s (%.0f%%)", wkr, fmtDur(b), util)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if r.memSamples > 0 {
+		gcs := r.memLast.NumGC - r.memFirst.NumGC
+		pause := r.memLast.PauseTotal - r.memFirst.PauseTotal
+		fmt.Fprintf(w, "mem: heap %s -> %s (peak %s), %d GCs, %s pause\n",
+			fmtBytes(r.memFirst.HeapAlloc), fmtBytes(r.memLast.HeapAlloc),
+			fmtBytes(r.memPeak), gcs, fmtDur(pause))
+	}
+	return nil
+}
+
+func printRows(w io.Writer, rows []*stepRow, phaseOrder []string) {
+	for _, row := range rows {
+		if row.hasStats {
+			fmt.Fprintf(w, "%6d %10d %10d %10d %9s", row.step, row.active, row.sent, row.delivered, fmtBytes(uint64(row.scratch)))
+		} else {
+			fmt.Fprintf(w, "%6d %10s %10s %10s %9s", row.step, "-", "-", "-", "-")
+		}
+		for _, name := range phaseOrder {
+			if d, ok := row.phases[name]; ok {
+				fmt.Fprintf(w, " %10s", fmtDur(d))
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// tail truncates s to its last n runes (phase names share long prefixes).
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// fmtDur renders a duration with ~3 significant digits.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < 10*time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

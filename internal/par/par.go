@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxProcs is the number of host workers used by default. It is a variable
@@ -37,6 +38,67 @@ func Workers() int { return maxProcs }
 // goroutine; below this, spawning costs more than it saves.
 const grainSize = 2048
 
+// WorkerTimer accumulates per-worker busy time: the wall-clock time each
+// host worker spent inside loop bodies, folded chunk by chunk. It exists
+// for the observability layer (package obs) — installing a timer changes
+// only what is measured, never what is computed, so the determinism
+// invariant is untouched. Slots are cache-line padded so concurrent
+// workers don't false-share.
+type WorkerTimer struct {
+	slots []timerSlot
+}
+
+type timerSlot struct {
+	ns int64
+	_  [7]int64 // pad to a 64-byte line
+}
+
+// NewWorkerTimer returns a timer for the given worker count.
+func NewWorkerTimer(workers int) *WorkerTimer {
+	if workers < 1 {
+		workers = 1
+	}
+	return &WorkerTimer{slots: make([]timerSlot, workers)}
+}
+
+// Add folds d into worker w's busy time. Out-of-range workers are dropped
+// (the timer was sized for a different configuration).
+func (t *WorkerTimer) Add(w int, d time.Duration) {
+	if w < 0 || w >= len(t.slots) {
+		return
+	}
+	atomic.AddInt64(&t.slots[w].ns, int64(d))
+}
+
+// Drain moves the accumulated busy times into busy (one entry per worker,
+// truncated to len(busy)) and resets the timer, returning busy. Callers
+// drain at phase boundaries to get per-phase utilization.
+func (t *WorkerTimer) Drain(busy []time.Duration) []time.Duration {
+	for w := range t.slots {
+		ns := atomic.SwapInt64(&t.slots[w].ns, 0)
+		if w < len(busy) {
+			busy[w] = time.Duration(ns)
+		}
+	}
+	return busy
+}
+
+// Workers returns the worker count the timer was sized for.
+func (t *WorkerTimer) Workers() int { return len(t.slots) }
+
+// curTimer is the installed timer; nil (the default) means "don't
+// measure", and the only hot-path cost is one atomic pointer load per
+// parallel region plus a nil check per chunk.
+var curTimer atomic.Pointer[WorkerTimer]
+
+// SetTimer installs t as the process's busy-time collector (nil uninstalls)
+// and returns the previous timer so callers can nest and restore. One
+// observed kernel at a time: concurrent observed runs would fold into
+// whichever timer is installed last.
+func SetTimer(t *WorkerTimer) *WorkerTimer {
+	return curTimer.Swap(t)
+}
+
 // For runs body(i) for every i in [0, n), potentially in parallel.
 // Iterations must be independent.
 func For(n int, body func(i int)) {
@@ -56,6 +118,12 @@ func ForChunked(n int, body func(lo, hi int)) {
 	}
 	workers := maxProcs
 	if workers <= 1 || n <= grainSize {
+		if t := curTimer.Load(); t != nil {
+			start := time.Now()
+			body(0, n)
+			t.Add(0, time.Since(start))
+			return
+		}
 		body(0, n)
 		return
 	}
@@ -66,11 +134,12 @@ func ForChunked(n int, body func(lo, hi int)) {
 	if chunk < grainSize {
 		chunk = grainSize
 	}
+	t := curTimer.Load()
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
@@ -81,9 +150,15 @@ func ForChunked(n int, body func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				body(lo, hi)
+				if t != nil {
+					start := time.Now()
+					body(lo, hi)
+					t.Add(w, time.Since(start))
+				} else {
+					body(lo, hi)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -99,25 +174,40 @@ func ForCoarse(n int, body func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		if t := curTimer.Load(); t != nil {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+			t.Add(0, time.Since(start))
+			return
+		}
 		for i := 0; i < n; i++ {
 			body(i)
 		}
 		return
 	}
+	t := curTimer.Load()
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				body(i)
+				if t != nil {
+					start := time.Now()
+					body(i)
+					t.Add(w, time.Since(start))
+				} else {
+					body(i)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,124 @@
+package trace
+
+// Round-trip and error-path tests for the profile JSON format — the
+// portable artifact every CLI exchanges. These pin the properties tools
+// downstream rely on: hot-class arrays survive a write/read cycle class by
+// class, foreign versions are rejected by name, and truncated files fail
+// loudly instead of yielding a shorter profile.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJSONHotClassArrayRoundTrip populates every hot class with a distinct
+// count and checks each survives the round trip in its own slot — a
+// regression guard against reordering or dropping classes in phaseJSON.
+func TestJSONHotClassArrayRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	p := r.StartPhase("bsp/superstep", 2)
+	for c := HotClass(0); c < NumHotClasses; c++ {
+		p.AddHot(c, 100+int64(c))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Phases()
+	if len(got) != 1 {
+		t.Fatalf("phases = %d, want 1", len(got))
+	}
+	for c := HotClass(0); c < NumHotClasses; c++ {
+		if got[0].Hot[c] != 100+int64(c) {
+			t.Errorf("hot class %v = %d, want %d", c, got[0].Hot[c], 100+int64(c))
+		}
+	}
+	if got[0].HotTotal() != p.HotTotal() {
+		t.Errorf("hot total = %d, want %d", got[0].HotTotal(), p.HotTotal())
+	}
+}
+
+// TestJSONUnknownVersionRejected checks unsupported versions fail with an
+// error that names the version, for every flavor of "not version 1".
+func TestJSONUnknownVersionRejected(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"future", `{"version": 2, "phases": []}`},
+		{"zero", `{"version": 0, "phases": []}`},
+		{"missing", `{"phases": []}`},
+		{"negative", `{"version": -1, "phases": []}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("expected version error")
+			}
+			if !strings.Contains(err.Error(), "version") {
+				t.Fatalf("error %q does not mention the version", err)
+			}
+		})
+	}
+}
+
+// TestJSONTruncatedInput cuts a valid profile at several byte offsets and
+// requires a decode error from every prefix — a partially copied profile
+// must never parse as a shorter valid one.
+func TestJSONTruncatedInput(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 4; i++ {
+		p := r.StartPhase("cc/iter", i)
+		p.AddTasks(10, 20, 30, 40)
+		p.AddHot(HotMsgCounter, int64(i))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []int{0, 1, 2, 3} {
+		cut := len(full) * frac / 4
+		// Skip the empty prefix only if it somehow parses (it must not).
+		if _, err := ReadJSON(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes parsed without error", cut, len(full))
+		}
+	}
+	if _, err := ReadJSON(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full profile failed to parse: %v", err)
+	}
+}
+
+// TestJSONRoundTripManyPhases exercises ordering: indices and names come
+// back in recording order, not sorted.
+func TestJSONRoundTripManyPhases(t *testing.T) {
+	r := NewRecorder()
+	names := []string{"bfs/level", "bfs/level", "stats/degrees", "bsp/scan"}
+	for i, n := range names {
+		p := r.StartPhase(n, len(names)-i) // deliberately non-monotone indices
+		p.AddTasks(int64(i), 2, 3, 4)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Phases()
+	if len(got) != len(names) {
+		t.Fatalf("phases = %d, want %d", len(got), len(names))
+	}
+	for i, n := range names {
+		if got[i].Name != n || got[i].Index != len(names)-i || got[i].Tasks != int64(i) {
+			t.Fatalf("phase %d = %q/%d tasks=%d, want %q/%d tasks=%d",
+				i, got[i].Name, got[i].Index, got[i].Tasks, n, len(names)-i, int64(i))
+		}
+	}
+}

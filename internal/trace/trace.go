@@ -170,6 +170,15 @@ func (p *Phase) String() string {
 		p.Name, p.Index, p.Tasks, p.Issue, p.Loads, p.Stores, p.HotTotal(), p.MaxTask)
 }
 
+// PhaseObserver receives a host-side notification for every StartPhase
+// call on a Recorder it is attached to. It is the cross-link between the
+// simulated work profile and host-runtime observability (package obs): a
+// phase's wall-clock span is the gap between its StartPhase and the next
+// one (or the observer's flush). Observers must not mutate the profile.
+type PhaseObserver interface {
+	PhaseStarted(name string, index int)
+}
+
 // Recorder accumulates the phases of one kernel execution.
 type Recorder struct {
 	mu     sync.Mutex
@@ -178,10 +187,56 @@ type Recorder struct {
 	// DetailTasks enables per-task recording in kernels that support it
 	// (needed by the discrete-event machine model). Set before running.
 	DetailTasks bool
+
+	// obs is an opaque host-observability attachment (set by CLIs, read
+	// back by the BSP engine via Observer); po is its cached
+	// PhaseObserver view, nil when the attachment doesn't observe phases.
+	obs any
+	po  PhaseObserver
 }
 
-// NewRecorder returns an empty Recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// observerFactory, when set, attaches a fresh observer to every Recorder
+// NewRecorder creates — the hook CLIs use to observe kernels that build
+// their recorders internally (xmtbench's experiment suite).
+var observerFactory func() any
+
+// SetObserverFactory installs (or, with nil, clears) the process-wide
+// observer factory and returns the previous one. Not safe to change while
+// recorders are being created concurrently; CLIs set it once at startup.
+func SetObserverFactory(f func() any) func() any {
+	old := observerFactory
+	observerFactory = f
+	return old
+}
+
+// NewRecorder returns an empty Recorder (with the process's default
+// observer attached, when a factory is installed).
+func NewRecorder() *Recorder {
+	r := &Recorder{}
+	if observerFactory != nil {
+		r.SetObserver(observerFactory())
+	}
+	return r
+}
+
+// SetObserver attaches a host-observability object to the recorder. If it
+// implements PhaseObserver, StartPhase will notify it. A nil recorder
+// ignores the call; attaching nil detaches.
+func (r *Recorder) SetObserver(o any) {
+	if r == nil {
+		return
+	}
+	r.obs = o
+	r.po, _ = o.(PhaseObserver)
+}
+
+// Observer returns the attached host-observability object, or nil.
+func (r *Recorder) Observer() any {
+	if r == nil {
+		return nil
+	}
+	return r.obs
+}
 
 // Discard reports whether the recorder is nil, letting kernels accept a nil
 // *Recorder to mean "don't record".
@@ -198,6 +253,9 @@ func (r *Recorder) StartPhase(name string, index int) *Phase {
 	r.mu.Lock()
 	r.phases = append(r.phases, p)
 	r.mu.Unlock()
+	if r.po != nil {
+		r.po.PhaseStarted(name, index)
+	}
 	return p
 }
 
