@@ -6,21 +6,38 @@
 //
 //	bspgraph -g graph.gxmt -alg cc|bfs|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
 //	         [-src -1] [-procs 128] [-rounds 30] [-workers N]
+//	         [-checkpoint-dir dir] [-ckpt-every 1] [-ckpt-keep 0] [-resume ckpt]
 //	         [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
 //
 // SSSP requires a weighted graph (graphgen does not emit one; build via
 // the library or a weighted DIMACS file). The -obs-* flags export host
 // runtime observability (see docs/OBSERVABILITY.md): per-superstep phase
 // spans, worker utilization, and memory samples.
+//
+// With -checkpoint-dir the engine snapshots its state at superstep
+// boundaries; on SIGINT/SIGTERM it finishes the current superstep, writes
+// a final checkpoint, and exits with status 3. Pass the printed checkpoint
+// to -resume to continue the same run bit-identically (see
+// docs/ROBUSTNESS.md). Multi-run algorithms (bc, diameter, tc-streaming)
+// do not support checkpointing.
+//
+// Exit status: 0 on success, 1 on runtime errors, 2 on usage errors, 3
+// when interrupted by a signal (after writing a checkpoint if enabled).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"graphxmt/internal/bspalg"
+	"graphxmt/internal/ckpt"
+	"graphxmt/internal/core"
+	"graphxmt/internal/faultinject"
 	"graphxmt/internal/graph"
 	"graphxmt/internal/graphio"
 	"graphxmt/internal/machine"
@@ -33,24 +50,58 @@ func main() {
 	alg := flag.String("alg", "cc", "algorithm: cc, bfs, sssp, tc, tc-streaming, pagerank, kcore, lp, bc, mis, diameter")
 	src := flag.Int64("src", -1, "bfs/sssp source (-1 = max-degree vertex)")
 	procs := flag.Int("procs", 128, "simulated processors")
-	rounds := flag.Int("rounds", 30, "pagerank supersteps")
+	rounds := flag.Int("rounds", 30, "pagerank/lp supersteps")
 	profile := flag.String("profile", "", "write the recorded work profile as JSON to this path")
+	ckptDir := flag.String("checkpoint-dir", "", "write superstep-boundary checkpoints into this directory")
+	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint every N superstep boundaries")
+	ckptKeep := flag.Int("ckpt-keep", 0, "keep only the newest K periodic checkpoints (0 = all)")
+	resume := flag.String("resume", "", "resume from this checkpoint file")
+	faultPlan := flag.String("fault-plan", "", "fault-injection plan, e.g. \"kill@2;panic@3:17\" (testing)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *path == "" {
-		fmt.Fprintln(os.Stderr, "bspgraph: -g is required")
-		os.Exit(2)
+		usage("-g is required")
 	}
+	if *procs <= 0 {
+		usage("-procs must be > 0, got %d", *procs)
+	}
+	if *rounds <= 0 {
+		usage("-rounds must be > 0, got %d", *rounds)
+	}
+	if *src < -1 {
+		usage("-src must be a vertex ID or -1 for max-degree, got %d", *src)
+	}
+	if *ckptEvery <= 0 {
+		usage("-ckpt-every must be > 0, got %d", *ckptEvery)
+	}
+	if *ckptKeep < 0 {
+		usage("-ckpt-keep must be >= 0, got %d", *ckptKeep)
+	}
+	name := strings.TrimSpace(*alg)
+	checkpointed := *ckptDir != "" || *resume != ""
+	switch name {
+	case "bc", "diameter", "tc-streaming":
+		if checkpointed || *faultPlan != "" {
+			usage("%s runs multiple engine passes and does not support -checkpoint-dir/-resume/-fault-plan", name)
+		}
+	}
+
+	plan, err := faultinject.ParsePlan(*faultPlan)
+	if err != nil {
+		usage("%v", err)
+	}
+	if (len(plan.KillAt) > 0 || len(plan.FailWriteAt) > 0) && *ckptDir == "" {
+		usage("-fault-plan kill/failwrite directives need -checkpoint-dir")
+	}
+
 	sess, err := obsFlags.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bspgraph:", err)
-		os.Exit(2)
+		usage("%v", err)
 	}
 	g, err := graphio.LoadFile(*path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bspgraph:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println("loaded", g)
 
@@ -61,10 +112,59 @@ func main() {
 	if source < 0 {
 		source = maxDegreeVertex(g)
 	}
+	if source >= g.NumVertices() {
+		usage("-src %d out of range [0,%d)", source, g.NumVertices())
+	}
 
-	switch strings.TrimSpace(*alg) {
+	// Checkpoint label: algorithm plus the parameters that shape the run,
+	// so a checkpoint cannot be resumed under different ones.
+	label := name
+	switch name {
+	case "bfs", "sssp":
+		label = fmt.Sprintf("%s src=%d", name, source)
+	case "pagerank", "lp":
+		label = fmt.Sprintf("%s rounds=%d", name, *rounds)
+	case "mis":
+		label = fmt.Sprintf("%s seed=%d", name, 7)
+	}
+
+	var opts []core.Option
+	if checkpointed {
+		// With -resume but no -checkpoint-dir the policy is label-only:
+		// it validates the checkpoint's identity but writes nothing new.
+		opts = append(opts, core.WithCheckpoint(&ckpt.Policy{
+			Dir:    *ckptDir,
+			EveryN: *ckptEvery,
+			Keep:   *ckptKeep,
+			Label:  label,
+			Hooks:  plan.Hooks(),
+		}))
+	}
+	if *resume != "" {
+		opts = append(opts, core.WithResume(*resume))
+	}
+	if len(plan.PanicAt) > 0 {
+		opts = append(opts, func(cfg *core.Config) {
+			cfg.Program = plan.WrapProgram(cfg.Program)
+		})
+	}
+	if checkpointed {
+		// Finish the current superstep, checkpoint, and exit 3 on
+		// SIGINT/SIGTERM instead of dying mid-state.
+		stop := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			signal.Stop(sig)
+			close(stop)
+		}()
+		opts = append(opts, core.WithStop(stop))
+	}
+
+	switch name {
 	case "cc":
-		res, err := bspalg.ConnectedComponents(g, rec)
+		res, err := bspalg.ConnectedComponents(g, rec, opts...)
 		exitOn(err)
 		comps := map[int64]int64{}
 		for _, l := range res.Labels {
@@ -74,7 +174,7 @@ func main() {
 		fmt.Printf("         active/step:   %v\n", res.ActivePerStep)
 		fmt.Printf("         messages/step: %v\n", res.MessagesPerStep)
 	case "bfs":
-		res, err := bspalg.BFS(g, source, rec)
+		res, err := bspalg.BFS(g, source, rec, opts...)
 		exitOn(err)
 		var reached int64
 		for _, f := range res.FrontierPerStep {
@@ -85,10 +185,9 @@ func main() {
 		fmt.Printf("          messages/step:  %v\n", res.MessagesPerStep)
 	case "sssp":
 		if !g.Weighted() {
-			fmt.Fprintln(os.Stderr, "bspgraph: sssp requires a weighted graph")
-			os.Exit(2)
+			usage("sssp requires a weighted graph")
 		}
-		res, err := bspalg.SSSP(g, source, rec)
+		res, err := bspalg.SSSP(g, source, rec, opts...)
 		exitOn(err)
 		var reached int
 		for _, d := range res.Dist {
@@ -98,7 +197,7 @@ func main() {
 		}
 		fmt.Printf("[bsp sssp] source=%d supersteps=%d reached=%d\n", source, res.Supersteps, reached)
 	case "tc":
-		res, err := bspalg.Triangles(g, rec)
+		res, err := bspalg.Triangles(g, rec, opts...)
 		exitOn(err)
 		fmt.Printf("[bsp tc] triangles=%d candidates=%d total-messages=%d supersteps=%d\n",
 			res.Count, res.CandidateMessages, res.TotalMessages, res.Supersteps)
@@ -107,7 +206,7 @@ func main() {
 		fmt.Printf("[bsp tc-streaming] triangles=%d candidates=%d total-messages=%d supersteps=%d\n",
 			res.Count, res.CandidateMessages, res.TotalMessages, res.Supersteps)
 	case "mis":
-		res, err := bspalg.MaximalIndependentSet(g, 7, rec)
+		res, err := bspalg.MaximalIndependentSet(g, 7, rec, opts...)
 		exitOn(err)
 		members := 0
 		for _, in := range res.InSet {
@@ -134,15 +233,15 @@ func main() {
 		fmt.Printf("[bsp bc] sources=%d supersteps=%d top vertex %d (%.4g)\n",
 			len(res.Sources), res.Supersteps, arg, max)
 	case "kcore":
-		res, err := bspalg.KCore(g, rec)
+		res, err := bspalg.KCore(g, rec, opts...)
 		exitOn(err)
 		fmt.Printf("[bsp kcore] degeneracy=%d supersteps=%d\n", res.MaxCore, res.Supersteps)
 	case "lp":
-		res, err := bspalg.LabelPropagation(g, *rounds, rec)
+		res, err := bspalg.LabelPropagation(g, *rounds, rec, opts...)
 		exitOn(err)
 		fmt.Printf("[bsp lp] %d communities in %d supersteps\n", res.Communities, res.Supersteps)
 	case "pagerank":
-		res, err := bspalg.PageRank(g, *rounds, rec)
+		res, err := bspalg.PageRank(g, *rounds, rec, opts...)
 		exitOn(err)
 		var max float64
 		var arg int
@@ -153,8 +252,7 @@ func main() {
 		}
 		fmt.Printf("[bsp pagerank] supersteps=%d top vertex %d (%.5f)\n", res.Supersteps, arg, max)
 	default:
-		fmt.Fprintf(os.Stderr, "bspgraph: unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		usage("unknown algorithm %q", *alg)
 	}
 	fmt.Printf("simulated time on %d procs: %.4fs\n",
 		*procs, machine.Seconds(model, rec.Phases(), *procs))
@@ -168,11 +266,40 @@ func main() {
 	exitOn(sess.Close())
 }
 
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bspgraph: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bspgraph:", err)
+	os.Exit(1)
+}
+
+// exitOn reports err and exits: interrupted runs (signal or injected kill)
+// exit 3 after printing the resume command; everything else exits 1.
 func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bspgraph:", err)
+	if err == nil {
+		return
+	}
+	var ie *core.InterruptedError
+	if errors.As(err, &ie) {
+		if ie.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "bspgraph: interrupted after superstep %d; resume with -resume %s\n",
+				ie.Superstep, ie.CheckpointPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "bspgraph: interrupted after superstep %d (no checkpoint directory configured)\n",
+				ie.Superstep)
+		}
+		os.Exit(3)
+	}
+	var pe *core.ProgramError
+	if errors.As(err, &pe) && pe.CheckpointPath != "" {
+		fmt.Fprintf(os.Stderr, "bspgraph: %v\nbspgraph: emergency checkpoint: resume with -resume %s\n",
+			err, pe.CheckpointPath)
 		os.Exit(1)
 	}
+	fatal(err)
 }
 
 func maxDegreeVertex(g *graph.Graph) int64 {

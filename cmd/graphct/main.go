@@ -41,18 +41,27 @@ func main() {
 	flag.Parse()
 
 	if *path == "" {
-		fmt.Fprintln(os.Stderr, "graphct: -g is required")
-		os.Exit(2)
+		usage("-g is required")
+	}
+	if *procs <= 0 {
+		usage("-procs must be > 0, got %d", *procs)
+	}
+	if *samples < 0 {
+		usage("-samples must be >= 0 (0 = exact), got %d", *samples)
+	}
+	if *src < -1 {
+		usage("-src must be a vertex ID or -1 for max-degree, got %d", *src)
+	}
+	if *dst < 0 {
+		usage("-dst must be a vertex ID, got %d", *dst)
 	}
 	sess, err := obsFlags.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "graphct:", err)
-		os.Exit(2)
+		usage("%v", err)
 	}
 	g, err := graphio.LoadFile(*path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "graphct:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println("loaded", g)
 
@@ -60,6 +69,9 @@ func main() {
 	source := *src
 	if source < 0 {
 		source = maxDegreeVertex(g)
+	}
+	if source >= g.NumVertices() || *dst >= g.NumVertices() {
+		usage("-src/-dst out of range [0,%d)", g.NumVertices())
 	}
 
 	for _, k := range strings.Split(*kernels, ",") {
@@ -117,16 +129,24 @@ func main() {
 			d := graphct.ApproxDiameter(g, source, 4, rec)
 			fmt.Printf("[diameter] >= %d (double-sweep estimate from %d)\n", d, source)
 		default:
-			fmt.Fprintf(os.Stderr, "graphct: unknown kernel %q\n", k)
-			os.Exit(2)
+			usage("unknown kernel %q", k)
 		}
 		fmt.Printf("        simulated time on %d procs: %.4fs\n",
 			*procs, machine.Seconds(model, rec.Phases(), *procs))
 	}
 	if err := sess.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "graphct:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphct: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphct:", err)
+	os.Exit(1)
 }
 
 func maxDegreeVertex(g *graph.Graph) int64 {

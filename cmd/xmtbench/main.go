@@ -42,10 +42,18 @@ func main() {
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	if *scale <= 0 || *scale > 40 {
+		usage("-scale must be in (0,40], got %d", *scale)
+	}
+	if *ef <= 0 {
+		usage("-ef must be > 0, got %d", *ef)
+	}
+	if *procs <= 0 {
+		usage("-procs must be > 0, got %d", *procs)
+	}
 	sess, err := obsFlags.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xmtbench:", err)
-		os.Exit(2)
+		usage("%v", err)
 	}
 	// Experiments build their recorders internally, so observers are
 	// attached via the process-wide recorder factory.
@@ -65,8 +73,7 @@ func main() {
 	case "des":
 		setup.Model = machine.NewDES(cfg)
 	default:
-		fmt.Fprintf(os.Stderr, "xmtbench: unknown model %q\n", *model)
-		os.Exit(2)
+		usage("unknown model %q", *model)
 	}
 
 	fmt.Printf("graphxmt bench: RMAT scale=%d ef=%d seed=%d, %d simulated processors, %s model\n",
@@ -204,8 +211,7 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "xmtbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		usage("unknown experiment %q", *exp)
 	}
 	if err := sess.Close(); err != nil {
 		fatal(err)
@@ -235,6 +241,11 @@ func writeCSV(dir, name string, write func(io.Writer) error) {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)
+}
+
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xmtbench: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -58,12 +58,16 @@ type CCResult struct {
 }
 
 // ConnectedComponents runs Algorithm 1 to convergence.
-func ConnectedComponents(g *graph.Graph, rec *trace.Recorder) (*CCResult, error) {
-	res, err := core.Run(core.Config{
+func ConnectedComponents(g *graph.Graph, rec *trace.Recorder, opts ...core.Option) (*CCResult, error) {
+	cfg := core.Config{
 		Graph:    g,
 		Program:  CCProgram{},
 		Recorder: rec,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -79,13 +83,17 @@ func ConnectedComponents(g *graph.Graph, rec *trace.Recorder) (*CCResult, error)
 // Pregel optimization that collapses same-destination messages at the
 // superstep boundary. Results are identical; delivered message counts
 // shrink.
-func ConnectedComponentsCombined(g *graph.Graph, rec *trace.Recorder) (*CCResult, error) {
-	res, err := core.Run(core.Config{
+func ConnectedComponentsCombined(g *graph.Graph, rec *trace.Recorder, opts ...core.Option) (*CCResult, error) {
+	cfg := core.Config{
 		Graph:    g,
 		Program:  CCProgram{},
 		Combiner: core.Min,
 		Recorder: rec,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -114,15 +114,19 @@ type KCoreResult struct {
 
 // KCore runs the BSP k-core decomposition to convergence. The graph must
 // have sorted adjacency.
-func KCore(g *graph.Graph, rec *trace.Recorder) (*KCoreResult, error) {
+func KCore(g *graph.Graph, rec *trace.Recorder, opts ...core.Option) (*KCoreResult, error) {
 	if !g.SortedAdjacency() {
 		panic("bspalg: KCore requires sorted adjacency")
 	}
-	res, err := core.Run(core.Config{
+	cfg := core.Config{
 		Graph:    g,
 		Program:  NewKCoreProgram(g),
 		Recorder: rec,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

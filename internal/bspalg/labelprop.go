@@ -91,19 +91,23 @@ type LPResult struct {
 // LabelPropagation runs BSP community detection for at most rounds
 // propagation supersteps (0 selects 30). The graph must have sorted
 // adjacency.
-func LabelPropagation(g *graph.Graph, rounds int, rec *trace.Recorder) (*LPResult, error) {
+func LabelPropagation(g *graph.Graph, rounds int, rec *trace.Recorder, opts ...core.Option) (*LPResult, error) {
 	if rounds <= 0 {
 		rounds = 30
 	}
 	if !g.SortedAdjacency() {
 		panic("bspalg: LabelPropagation requires sorted adjacency")
 	}
-	res, err := core.Run(core.Config{
+	cfg := core.Config{
 		Graph:         g,
 		Program:       NewLPProgram(g, rounds),
 		Recorder:      rec,
 		MaxSupersteps: rounds + 2,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -112,12 +112,16 @@ type MISResult struct {
 
 // MaximalIndependentSet computes an MIS with Luby's algorithm on the BSP
 // engine. The result is deterministic for a given seed.
-func MaximalIndependentSet(g *graph.Graph, seed uint64, rec *trace.Recorder) (*MISResult, error) {
-	res, err := core.Run(core.Config{
+func MaximalIndependentSet(g *graph.Graph, seed uint64, rec *trace.Recorder, opts ...core.Option) (*MISResult, error) {
+	cfg := core.Config{
 		Graph:    g,
 		Program:  MISProgram{Seed: seed},
 		Recorder: rec,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

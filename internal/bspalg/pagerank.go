@@ -63,16 +63,24 @@ type PageRankResult struct {
 
 // PageRank runs fixed-point BSP PageRank for rounds supersteps with
 // damping 0.85, combining messages by summation.
-func PageRank(g *graph.Graph, rounds int, rec *trace.Recorder) (*PageRankResult, error) {
+func PageRank(g *graph.Graph, rounds int, rec *trace.Recorder, opts ...core.Option) (*PageRankResult, error) {
 	if rounds <= 0 {
 		rounds = 30
 	}
-	res, err := core.Run(core.Config{
+	cfg := core.Config{
 		Graph:    g,
 		Program:  PageRankProgram{DampingMilli: 850, Rounds: rounds},
 		Combiner: core.Sum,
 		Recorder: rec,
-	})
+		// The program runs exactly rounds+2 supersteps (power iteration,
+		// then drain); a rounds above the default budget is intentional,
+		// not a runaway.
+		MaxSupersteps: rounds + 2,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -59,16 +59,20 @@ type SSSPResult struct {
 
 // SSSP runs BSP single-source shortest paths on a weighted graph with
 // non-negative weights, using a min-combiner.
-func SSSP(g *graph.Graph, source int64, rec *trace.Recorder) (*SSSPResult, error) {
+func SSSP(g *graph.Graph, source int64, rec *trace.Recorder, opts ...core.Option) (*SSSPResult, error) {
 	if !g.Weighted() {
 		panic("bspalg: SSSP requires a weighted graph")
 	}
-	res, err := core.Run(core.Config{
+	cfg := core.Config{
 		Graph:    g,
 		Program:  SSSPProgram{Source: source},
 		Combiner: core.Min,
 		Recorder: rec,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

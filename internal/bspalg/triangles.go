@@ -87,15 +87,19 @@ type TCResult struct {
 // Triangles runs Algorithm 3 through the generic engine, materializing
 // every wedge message. Use StreamingTriangles for graphs whose wedge count
 // exceeds memory.
-func Triangles(g *graph.Graph, rec *trace.Recorder) (*TCResult, error) {
+func Triangles(g *graph.Graph, rec *trace.Recorder, opts ...core.Option) (*TCResult, error) {
 	if !g.SortedAdjacency() {
 		panic("bspalg: Triangles requires sorted adjacency")
 	}
-	res, err := core.Run(core.Config{
+	cfg := core.Config{
 		Graph:    g,
 		Program:  TCProgram{},
 		Recorder: rec,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}

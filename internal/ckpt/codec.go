@@ -1,0 +1,502 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"graphxmt/internal/trace"
+)
+
+// File format: an 8-byte magic, a little-endian uint32 format version, a
+// little-endian uint32 CRC32 (Castagnoli) over the payload, then the
+// payload. The payload is a flat little-endian encoding of Snapshot with
+// length-prefixed slices and strings; every length is validated against
+// the remaining bytes during decode, so a truncated or bit-flipped file
+// yields a typed CorruptError, never a panic or a silently wrong state.
+const (
+	magic   = "GXMTCKP1"
+	version = 1
+
+	// Ext is the checkpoint file extension.
+	Ext = ".gxckpt"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports a checkpoint file that failed structural validation
+// (bad magic, checksum mismatch, truncation, or an impossible length).
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ckpt: corrupt checkpoint %s: %s", e.Path, e.Reason)
+}
+
+// VersionError reports a checkpoint written by an unknown format version.
+type VersionError struct {
+	Path    string
+	Version uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("ckpt: checkpoint %s has unsupported format version %d (supported: %d)", e.Path, e.Version, version)
+}
+
+// MismatchError reports a fingerprint field that differs between a
+// checkpoint and the run trying to resume from it.
+type MismatchError struct {
+	Field string
+	Got   string // value stored in the checkpoint
+	Want  string // value of the resuming run
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("ckpt: checkpoint %s mismatch: checkpoint has %q, run has %q", e.Field, e.Got, e.Want)
+}
+
+// WriteError reports a failed checkpoint write. The temp file is removed
+// and any previous checkpoint is left intact.
+type WriteError struct {
+	Path string
+	Err  error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("ckpt: writing checkpoint %s: %v", e.Path, e.Err)
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v)) }
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) int64s(s []int64) {
+	e.i64(int64(len(s)))
+	for _, v := range s {
+		e.i64(v)
+	}
+}
+
+func (e *encoder) bools(s []bool) {
+	e.i64(int64(len(s)))
+	for _, v := range s {
+		e.boolean(v)
+	}
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+	path string
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = &CorruptError{Path: d.path, Reason: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.data)-d.pos < n {
+		d.fail("truncated at offset %d (need %d bytes, have %d)", d.pos, n, len(d.data)-d.pos)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.data[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) boolean() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid boolean at offset %d", d.pos-1)
+		return false
+	}
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+// length reads a slice length and validates it against the bytes that a
+// slice of elemSize-byte elements would occupy.
+func (d *decoder) length(elemSize int) int {
+	n := d.i64()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(len(d.data)-d.pos)/int64(elemSize) {
+		d.fail("impossible slice length %d at offset %d", n, d.pos-8)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) int64s() []int64 {
+	n := d.length(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = d.i64()
+	}
+	return s
+}
+
+func (d *decoder) bools() []bool {
+	n := d.length(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = d.boolean()
+	}
+	return s
+}
+
+// Encode serializes the snapshot payload (without magic/version/checksum —
+// WriteFile adds the envelope).
+func Encode(s *Snapshot) []byte {
+	e := &encoder{buf: make([]byte, 0, 64+8*(len(s.States)+len(s.MsgDest)+len(s.MsgVal))+len(s.Halted))}
+	e.u32(s.FP.GraphCRC)
+	e.i64(s.FP.Vertices)
+	e.i64(s.FP.Edges)
+	e.str(s.FP.Program)
+	e.str(s.FP.Label)
+	e.boolean(s.FP.Combiner)
+	e.boolean(s.FP.Sparse)
+	e.i64(s.FP.MaxSupersteps)
+	e.i64(s.FP.MaxMessages)
+	e.u32(s.FP.CostsCRC)
+
+	e.i64(s.Step)
+	e.i64(s.Live)
+	e.int64s(s.States)
+	e.bools(s.Halted)
+	e.int64s(s.MsgDest)
+	e.int64s(s.MsgVal)
+	e.int64s(s.ActivePerStep)
+	e.int64s(s.MessagesPerStep)
+	e.int64s(s.DeliveredPerStep)
+
+	encAggs := func(aggs []Aggregate) {
+		e.i64(int64(len(aggs)))
+		for _, a := range aggs {
+			e.str(a.Name)
+			e.i64(a.Value)
+			e.boolean(a.Seeded)
+		}
+	}
+	encAggs(s.Aggregates)
+	encAggs(s.PrevAggregates)
+
+	e.i64(int64(len(s.Phases)))
+	for _, p := range s.Phases {
+		e.str(p.Name)
+		e.i64(int64(p.Index))
+		e.i64(p.Tasks)
+		e.i64(p.Issue)
+		e.i64(p.Loads)
+		e.i64(p.Stores)
+		e.i64(p.MaxTask)
+		e.u8(uint8(trace.NumHotClasses))
+		for _, h := range p.Hot {
+			e.i64(h)
+		}
+		e.i64(p.Barriers)
+	}
+	return e.buf
+}
+
+// Decode parses a snapshot payload. path is used only in error messages.
+func Decode(payload []byte, path string) (*Snapshot, error) {
+	d := &decoder{data: payload, path: path}
+	s := &Snapshot{}
+	s.FP.GraphCRC = d.u32()
+	s.FP.Vertices = d.i64()
+	s.FP.Edges = d.i64()
+	s.FP.Program = d.str()
+	s.FP.Label = d.str()
+	s.FP.Combiner = d.boolean()
+	s.FP.Sparse = d.boolean()
+	s.FP.MaxSupersteps = d.i64()
+	s.FP.MaxMessages = d.i64()
+	s.FP.CostsCRC = d.u32()
+
+	s.Step = d.i64()
+	s.Live = d.i64()
+	s.States = d.int64s()
+	s.Halted = d.bools()
+	s.MsgDest = d.int64s()
+	s.MsgVal = d.int64s()
+	s.ActivePerStep = d.int64s()
+	s.MessagesPerStep = d.int64s()
+	s.DeliveredPerStep = d.int64s()
+
+	decAggs := func() []Aggregate {
+		n := d.length(13) // name len + value + seeded lower-bounds an entry
+		if d.err != nil || n == 0 {
+			return nil
+		}
+		aggs := make([]Aggregate, n)
+		for i := range aggs {
+			aggs[i] = Aggregate{Name: d.str(), Value: d.i64(), Seeded: d.boolean()}
+		}
+		return aggs
+	}
+	s.Aggregates = decAggs()
+	s.PrevAggregates = decAggs()
+
+	nPh := d.length(4)
+	if d.err == nil && nPh > 0 {
+		s.Phases = make([]trace.PhaseState, nPh)
+		for i := range s.Phases {
+			p := &s.Phases[i]
+			p.Name = d.str()
+			p.Index = int(d.i64())
+			p.Tasks = d.i64()
+			p.Issue = d.i64()
+			p.Loads = d.i64()
+			p.Stores = d.i64()
+			p.MaxTask = d.i64()
+			if nh := d.u8(); d.err == nil && nh != uint8(trace.NumHotClasses) {
+				d.fail("phase %d has %d hot classes, want %d", i, nh, trace.NumHotClasses)
+			}
+			for c := range p.Hot {
+				p.Hot[c] = d.i64()
+			}
+			p.Barriers = d.i64()
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("%d trailing bytes after payload", len(d.data)-d.pos)}
+	}
+	// Structural cross-checks: catch damage that survives within a field.
+	if int64(len(s.States)) != s.FP.Vertices || int64(len(s.Halted)) != s.FP.Vertices {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("state arrays sized %d/%d, fingerprint says %d vertices", len(s.States), len(s.Halted), s.FP.Vertices)}
+	}
+	if len(s.MsgDest) != len(s.MsgVal) {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("message queue slices differ in length (%d dests, %d values)", len(s.MsgDest), len(s.MsgVal))}
+	}
+	for i, v := range s.MsgDest {
+		if v < 0 || v >= s.FP.Vertices {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("message %d addressed to out-of-range vertex %d", i, v)}
+		}
+	}
+	want := s.Step + 1
+	if int64(len(s.ActivePerStep)) != want || int64(len(s.MessagesPerStep)) != want || int64(len(s.DeliveredPerStep)) != want {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("per-step counters sized %d/%d/%d, want %d (step %d)", len(s.ActivePerStep), len(s.MessagesPerStep), len(s.DeliveredPerStep), want, s.Step)}
+	}
+	var live int64
+	for _, h := range s.Halted {
+		if !h {
+			live++
+		}
+	}
+	if live != s.Live {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("halted set has %d live vertices, header says %d", live, s.Live)}
+	}
+	return s, nil
+}
+
+// FileName returns the canonical file name for the checkpoint at the given
+// superstep boundary.
+func FileName(step int64) string {
+	return fmt.Sprintf("ckpt-%09d%s", step, Ext)
+}
+
+// EmergencyFileName returns the file name used for the emergency
+// checkpoint written when a vertex program panics during superstep step.
+func EmergencyFileName(step int64) string {
+	return fmt.Sprintf("emergency-%09d%s", step, Ext)
+}
+
+// WriteFile atomically writes the snapshot to dir/FileName(s.Step): encode
+// into a temp file in dir, sync, rename. wrap (the fault-injection hook)
+// may interpose a failing writer; any failure removes the temp file,
+// leaves existing checkpoints untouched, and returns a WriteError.
+func WriteFile(dir string, s *Snapshot, name string, hooks *Hooks) (string, error) {
+	final := filepath.Join(dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", &WriteError{Path: final, Err: err}
+	}
+	f, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return "", &WriteError{Path: final, Err: err}
+	}
+	tmp := f.Name()
+	failed := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", &WriteError{Path: final, Err: err}
+	}
+	payload := Encode(s)
+	var w io.Writer = f
+	if hooks != nil && hooks.WrapWrite != nil {
+		w = hooks.WrapWrite(s.Step, f)
+	}
+	var hdr [16]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return failed(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return failed(err)
+	}
+	if err := f.Sync(); err != nil {
+		return failed(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", &WriteError{Path: final, Err: err}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", &WriteError{Path: final, Err: err}
+	}
+	return final, nil
+}
+
+// Load reads, validates, and decodes the checkpoint at path.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 16 {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("file is %d bytes, shorter than the %d-byte header", len(data), 16)}
+	}
+	if string(data[:8]) != magic {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("bad magic %q", data[:8])}
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != version {
+		return nil, &VersionError{Path: path, Version: v}
+	}
+	want := binary.LittleEndian.Uint32(data[12:16])
+	payload := data[16:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("checksum mismatch: header %08x, payload %08x", want, got)}
+	}
+	return Decode(payload, path)
+}
+
+// LatestPath returns the highest-step periodic checkpoint in dir, or ""
+// when dir contains none (emergency checkpoints are not considered — they
+// capture the boundary before a crashed superstep and the caller should
+// name them explicitly to resume from one).
+func LatestPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestStep := "", int64(-1)
+	for _, e := range entries {
+		var step int64
+		if n, err := fmt.Sscanf(e.Name(), "ckpt-%d"+Ext, &step); err != nil || n != 1 {
+			continue
+		}
+		if step > bestStep {
+			best, bestStep = filepath.Join(dir, e.Name()), step
+		}
+	}
+	return best, nil
+}
+
+// Prune removes all but the newest keep periodic checkpoints from dir.
+// keep <= 0 keeps everything. Emergency checkpoints are never removed.
+func Prune(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var steps []int64
+	for _, e := range entries {
+		var step int64
+		if n, err := fmt.Sscanf(e.Name(), "ckpt-%d"+Ext, &step); err == nil && n == 1 {
+			steps = append(steps, step)
+		}
+	}
+	if len(steps) <= keep {
+		return nil
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] > steps[j] })
+	for _, step := range steps[keep:] {
+		if err := os.Remove(filepath.Join(dir, FileName(step))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

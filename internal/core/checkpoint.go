@@ -1,0 +1,333 @@
+package core
+
+// Checkpoint/restore wiring for the BSP engine (package ckpt holds the
+// file format). A checkpoint is taken at the superstep boundary — after
+// superstep S's compute sweep, merges, and delivery have completed — and
+// captures everything the next superstep depends on: vertex states, the
+// halted set, the messages sent in S (re-delivered on resume), per-step
+// counters, aggregators, and the accumulated trace profile. Because the
+// engine is deterministic at any worker count, a resumed run replays
+// supersteps S+1.. exactly as the uninterrupted run would have, so Result
+// and profile are bit-identical (recovery_test.go).
+//
+// With no checkpoint policy, no Stop channel, and no Resume path, Run's
+// hot path pays a single nil-pointer check per superstep.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+
+	"graphxmt/internal/ckpt"
+	"graphxmt/internal/graph"
+	"graphxmt/internal/trace"
+)
+
+// Option mutates a Config; the bspalg single-run wrappers accept trailing
+// Options so callers can enable checkpointing, resume, or interruption
+// without new function signatures.
+type Option func(*Config)
+
+// WithCheckpoint enables superstep-boundary checkpointing under p.
+func WithCheckpoint(p *ckpt.Policy) Option {
+	return func(c *Config) { c.Checkpoint = p }
+}
+
+// WithResume makes the run restore from the checkpoint at path instead of
+// starting at superstep 0.
+func WithResume(path string) Option {
+	return func(c *Config) { c.Resume = path }
+}
+
+// WithStop installs a stop channel: when it is closed the engine finishes
+// the current superstep, checkpoints (if a policy is configured), and
+// returns *InterruptedError.
+func WithStop(ch <-chan struct{}) Option {
+	return func(c *Config) { c.Stop = ch }
+}
+
+// WithMaxSupersteps bounds the run (see Config.MaxSupersteps).
+func WithMaxSupersteps(n int) Option {
+	return func(c *Config) { c.MaxSupersteps = n }
+}
+
+// ProgramNamer lets a vertex program name itself for checkpoint
+// fingerprints. Programs that don't implement it are named by their Go
+// type. Wrappers (e.g. the fault-injection harness) forward the inner
+// program's name so wrapping never changes the fingerprint.
+type ProgramNamer interface {
+	ProgramName() string
+}
+
+// ProgramNameOf returns the fingerprint name of a vertex program.
+func ProgramNameOf(p Program) string {
+	if n, ok := p.(ProgramNamer); ok {
+		return n.ProgramName()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+func crcInt64s(h hash.Hash32, s []int64) {
+	var buf [8192]byte
+	i := 0
+	for i < len(s) {
+		n := 0
+		for i < len(s) && n+8 <= len(buf) {
+			binary.LittleEndian.PutUint64(buf[n:], uint64(s[i]))
+			n += 8
+			i++
+		}
+		h.Write(buf[:n])
+	}
+}
+
+// graphCRC checksums the graph's identity: vertex count, flags, and the
+// CSR arrays (plus weights when present). Computed once per checkpointed
+// run; O(E) but pure streaming.
+func graphCRC(g *graph.Graph) uint32 {
+	h := crc32.New(ckptCRCTable)
+	var hdr [10]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(g.NumVertices()))
+	if g.Directed() {
+		hdr[8] = 1
+	}
+	if g.Weighted() {
+		hdr[9] = 1
+	}
+	h.Write(hdr[:])
+	crcInt64s(h, g.Offsets())
+	crcInt64s(h, g.Adjacency())
+	if g.Weighted() {
+		for v := int64(0); v < g.NumVertices(); v++ {
+			crcInt64s(h, g.NeighborWeights(v))
+		}
+	}
+	return h.Sum32()
+}
+
+func costsCRC(c CostSchedule) uint32 {
+	h := crc32.New(ckptCRCTable)
+	crcInt64s(h, []int64{
+		c.ScanLoadsPerVertex,
+		c.ActiveIssuePerVertex, c.ActiveLoadsPerVertex, c.ActiveStoresPerVertex,
+		c.RecvLoadsPerMsg, c.RecvIssuePerMsg,
+		c.SendStoresPerMsg, c.SendLoadsPerMsg, c.SendIssuePerMsg,
+		c.DeliverLoadsPerMsg, c.DeliverStoresPerMsg,
+		c.HotMsgChunk,
+	})
+	return h.Sum32()
+}
+
+// runFingerprint builds the fingerprint the run's checkpoints carry and
+// that Resume validates the loaded checkpoint against.
+func runFingerprint(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, costs CostSchedule) ckpt.Fingerprint {
+	label := ""
+	if cfg.Checkpoint != nil {
+		label = cfg.Checkpoint.Label
+	}
+	return ckpt.Fingerprint{
+		GraphCRC:      graphCRC(g),
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		Program:       ProgramNameOf(cfg.Program),
+		Label:         label,
+		Combiner:      cfg.Combiner != nil,
+		Sparse:        cfg.SparseActivation,
+		MaxSupersteps: int64(maxSteps),
+		MaxMessages:   maxMsgs,
+		CostsCRC:      costsCRC(costs),
+	}
+}
+
+// ckptRun is the per-run checkpoint state. nil when the run has no policy,
+// no stop channel, and no resume path — the engine's only hot-path cost.
+type ckptRun struct {
+	policy *ckpt.Policy
+	stop   <-chan struct{}
+	fp     ckpt.Fingerprint
+	everyN int
+	// snap is the in-memory snapshot of the most recent completed
+	// boundary, refreshed at every boundary while a policy is configured
+	// (EveryN gates only disk writes). It backs the emergency checkpoint
+	// written when a vertex program panics mid-superstep.
+	snap *ckpt.Snapshot
+}
+
+// startCkpt resolves the run's checkpoint state; nil disables everything.
+func startCkpt(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, costs CostSchedule) *ckptRun {
+	if cfg.Checkpoint == nil && cfg.Stop == nil && cfg.Resume == "" {
+		return nil
+	}
+	ck := &ckptRun{policy: cfg.Checkpoint, stop: cfg.Stop}
+	if ck.policy != nil || cfg.Resume != "" {
+		ck.fp = runFingerprint(cfg, g, maxSteps, maxMsgs, costs)
+	}
+	if ck.policy != nil {
+		ck.everyN = ck.policy.EveryN
+		if ck.everyN <= 0 {
+			ck.everyN = 1
+		}
+	}
+	return ck
+}
+
+func aggSnapshot(aggs map[string]*aggregator) []ckpt.Aggregate {
+	if len(aggs) == 0 {
+		return nil
+	}
+	out := make([]ckpt.Aggregate, 0, len(aggs))
+	for name, a := range aggs {
+		out = append(out, ckpt.Aggregate{Name: name, Value: a.value, Seeded: a.seeded})
+	}
+	sortAggs(out)
+	return out
+}
+
+func prevAggSnapshot(prev map[string]int64) []ckpt.Aggregate {
+	if len(prev) == 0 {
+		return nil
+	}
+	out := make([]ckpt.Aggregate, 0, len(prev))
+	for name, v := range prev {
+		out = append(out, ckpt.Aggregate{Name: name, Value: v, Seeded: true})
+	}
+	sortAggs(out)
+	return out
+}
+
+func sortAggs(aggs []ckpt.Aggregate) {
+	// Insertion sort: aggregator counts are tiny (programs in this repo
+	// register at most one), and it keeps the checkpoint byte-stable.
+	for i := 1; i < len(aggs); i++ {
+		for j := i; j > 0 && aggs[j].Name < aggs[j-1].Name; j-- {
+			aggs[j], aggs[j-1] = aggs[j-1], aggs[j]
+		}
+	}
+}
+
+// record refreshes the in-memory boundary snapshot after superstep step.
+func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, sendBuf []Message, master *engineState, rec *trace.Recorder) {
+	dest := make([]int64, len(sendBuf))
+	val := make([]int64, len(sendBuf))
+	for i, m := range sendBuf {
+		dest[i] = m.Dest
+		val[i] = m.Value
+	}
+	ck.snap = &ckpt.Snapshot{
+		FP:               ck.fp,
+		Step:             int64(step),
+		Live:             live,
+		States:           append([]int64(nil), master.states...),
+		Halted:           append([]bool(nil), halted...),
+		MsgDest:          dest,
+		MsgVal:           val,
+		ActivePerStep:    append([]int64(nil), res.ActivePerStep...),
+		MessagesPerStep:  append([]int64(nil), res.MessagesPerStep...),
+		DeliveredPerStep: append([]int64(nil), res.DeliveredPerStep...),
+		Aggregates:       aggSnapshot(master.aggregates),
+		PrevAggregates:   prevAggSnapshot(master.prevAggregates),
+		Phases:           rec.StateSnapshot(),
+	}
+}
+
+// atBoundary runs at the end of every non-terminal superstep: refresh the
+// boundary snapshot, write it to disk when the cadence (or an interrupt)
+// says so, and surface interruption as *InterruptedError. A checkpoint
+// write failure aborts the run; previously written checkpoints are intact
+// (writes are temp-file + rename).
+func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, sendBuf []Message, master *engineState, rec *trace.Recorder) error {
+	stopped := false
+	if ck.stop != nil {
+		select {
+		case <-ck.stop:
+			stopped = true
+		default:
+		}
+	}
+	p := ck.policy
+	if p == nil || p.Dir == "" {
+		// No policy, or a label-only policy (a resume without a new
+		// checkpoint directory): nothing is ever written.
+		if stopped {
+			return &InterruptedError{Superstep: step}
+		}
+		return nil
+	}
+	if p.Hooks != nil && p.Hooks.Kill != nil && p.Hooks.Kill(int64(step)) {
+		stopped = true
+	}
+	ck.record(step, live, res, halted, sendBuf, master, rec)
+	if !stopped && (step+1)%ck.everyN != 0 {
+		return nil
+	}
+	path, err := ckpt.WriteFile(p.Dir, ck.snap, ckpt.FileName(int64(step)), p.Hooks)
+	if err != nil {
+		return err
+	}
+	if err := ckpt.Prune(p.Dir, p.Keep); err != nil {
+		return err
+	}
+	if stopped {
+		return &InterruptedError{Superstep: step, CheckpointPath: path}
+	}
+	return nil
+}
+
+// emergency writes the last completed boundary's snapshot as an emergency
+// checkpoint (best effort — a vertex-program panic is already being
+// reported; a failing emergency write leaves CheckpointPath empty rather
+// than masking the ProgramError).
+func (ck *ckptRun) emergency() string {
+	if ck == nil || ck.policy == nil || ck.policy.Dir == "" || ck.snap == nil {
+		return ""
+	}
+	path, err := ckpt.WriteFile(ck.policy.Dir, ck.snap, ckpt.EmergencyFileName(ck.snap.Step), ck.policy.Hooks)
+	if err != nil {
+		return ""
+	}
+	return path
+}
+
+// loadResume loads and fingerprint-checks the checkpoint at cfg.Resume.
+func (ck *ckptRun) loadResume(path string) (*ckpt.Snapshot, error) {
+	s, err := ckpt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.FP.Check(ck.fp); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// restore applies a loaded snapshot to the run state: vertex states, the
+// halted set, counters, aggregators, and the trace profile. The message
+// queue and worklist are rebuilt by Run (they live in engine-local
+// buffers).
+func restore(s *ckpt.Snapshot, res *Result, halted []bool, master *engineState, rec *trace.Recorder) (live int64) {
+	copy(res.States, s.States)
+	copy(halted, s.Halted)
+	res.Supersteps = int(s.Step) + 1
+	res.ActivePerStep = append(res.ActivePerStep[:0], s.ActivePerStep...)
+	res.MessagesPerStep = append(res.MessagesPerStep[:0], s.MessagesPerStep...)
+	res.DeliveredPerStep = append(res.DeliveredPerStep[:0], s.DeliveredPerStep...)
+	if len(s.Aggregates) > 0 {
+		master.aggregates = make(map[string]*aggregator, len(s.Aggregates))
+		for _, a := range s.Aggregates {
+			// The reduction function is not serializable; mergeAggregates
+			// adopts the one the resumed program registers on first use.
+			master.aggregates[a.Name] = &aggregator{value: a.Value, seeded: a.Seeded}
+		}
+	}
+	if len(s.PrevAggregates) > 0 {
+		master.prevAggregates = make(map[string]int64, len(s.PrevAggregates))
+		for _, a := range s.PrevAggregates {
+			master.prevAggregates[a.Name] = a.Value
+		}
+	}
+	rec.RestoreState(s.Phases)
+	return s.Live
+}

@@ -39,8 +39,12 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
 	"time"
 
+	"graphxmt/internal/ckpt"
 	"graphxmt/internal/graph"
 	"graphxmt/internal/obs"
 	"graphxmt/internal/par"
@@ -72,8 +76,10 @@ type Config struct {
 	Graph *graph.Graph
 	// Program is the vertex program (required).
 	Program Program
-	// MaxSupersteps bounds the run; 0 selects 1000. Exceeding the bound
-	// returns an error rather than silently stopping.
+	// MaxSupersteps bounds the run — the runaway guard for vertex programs
+	// that never converge. 0 selects 1000; negative values disable the
+	// bound. Exceeding it returns *BudgetError (carrying the last
+	// superstep's counters) rather than silently stopping or hanging.
 	MaxSupersteps int
 	// Combiner, when non-nil, merges messages addressed to the same vertex
 	// at the superstep boundary (Pregel's combiner optimization). It must
@@ -106,6 +112,21 @@ type Config struct {
 	// magnitude larger" in BSP — with sparse activation that overhead
 	// disappears (see experiments.AblationActivation).
 	SparseActivation bool
+	// Checkpoint, when non-nil, enables superstep-boundary checkpointing
+	// under the given policy (package ckpt; see checkpoint.go and
+	// docs/ROBUSTNESS.md). nil costs one pointer check per superstep.
+	Checkpoint *ckpt.Policy
+	// Resume, when non-empty, restores the run from the checkpoint at this
+	// path instead of starting at superstep 0. The checkpoint's fingerprint
+	// must match this config (same graph, program, label, and engine
+	// options) or Run returns *ckpt.MismatchError.
+	Resume string
+	// Stop, when non-nil, is polled at every superstep boundary: once it
+	// is closed, the engine finishes the current superstep, writes a
+	// checkpoint (when a policy is configured), and returns
+	// *InterruptedError. This is how cmd/bspgraph turns SIGINT/SIGTERM
+	// into a resumable exit.
+	Stop <-chan struct{}
 }
 
 // Result is the outcome of a BSP run.
@@ -139,6 +160,8 @@ func Run(cfg Config) (*Result, error) {
 	maxSteps := cfg.MaxSupersteps
 	if maxSteps == 0 {
 		maxSteps = 1000
+	} else if maxSteps < 0 {
+		maxSteps = math.MaxInt // unbounded
 	}
 	maxMsgs := cfg.MaxMessagesPerSuperstep
 	if maxMsgs == 0 {
@@ -155,6 +178,17 @@ func Run(cfg Config) (*Result, error) {
 		States:     make([]int64, n),
 		Aggregates: map[string]int64{},
 	}
+	// ck is the checkpoint/interrupt state; nil (no policy, no stop
+	// channel, no resume) costs one pointer check per superstep boundary.
+	ck := startCkpt(&cfg, g, maxSteps, maxMsgs, costs)
+	var resumeSnap *ckpt.Snapshot
+	if cfg.Resume != "" {
+		s, err := ck.loadResume(cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		resumeSnap = s
+	}
 	// o is the observability state; nil (no sink) costs one pointer check
 	// per hook below. tObs is only written/read when o != nil.
 	o := startObs(&cfg, g)
@@ -163,20 +197,52 @@ func Run(cfg Config) (*Result, error) {
 		defer o.finish()
 		tObs = time.Now()
 	}
-	par.ForChunked(int(n), func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			res.States[v] = cfg.Program.InitialState(g, int64(v))
-		}
-	})
-	if o != nil {
-		o.phase(obsPhaseInit, -1, tObs)
-	}
-
 	halted := make([]bool, n)
 	// live tracks the number of non-halted vertices incrementally (via
 	// per-chunk halt-transition deltas), replacing the sequential engine's
 	// full rescan of the halt flags on every message-free superstep.
 	live := n
+	if resumeSnap == nil {
+		// initTrap collects vertex-program panics from the InitialState
+		// sweep; the lowest panicking vertex wins, which is deterministic
+		// even though ForChunked's boundaries track the worker count (every
+		// vertex below the lowest panic runs cleanly under any chunking).
+		var initTrap struct {
+			sync.Mutex
+			trapped bool
+			vertex  int64
+			val     any
+			stack   []byte
+		}
+		par.ForChunked(int(n), func(lo, hi int) {
+			v := int64(lo)
+			defer func() {
+				if r := recover(); r != nil {
+					stack := debug.Stack()
+					initTrap.Lock()
+					if !initTrap.trapped || v < initTrap.vertex {
+						initTrap.trapped, initTrap.vertex, initTrap.val, initTrap.stack = true, v, r, stack
+					}
+					initTrap.Unlock()
+				}
+			}()
+			for ; v < int64(hi); v++ {
+				res.States[v] = cfg.Program.InitialState(g, v)
+			}
+		})
+		if initTrap.trapped {
+			return nil, &ProgramError{
+				Vertex:    initTrap.vertex,
+				Superstep: -1,
+				Phase:     "init",
+				Recovered: initTrap.val,
+				Stack:     initTrap.stack,
+			}
+		}
+		if o != nil {
+			o.phase(obsPhaseInit, -1, tObs)
+		}
+	}
 
 	// Inbox in CSR form: inboxOff[v]..inboxOff[v+1] indexes inboxVal.
 	inboxOff := make([]int64, n+1)
@@ -204,9 +270,47 @@ func Run(cfg Config) (*Result, error) {
 	}
 	scratch := &runScratch{}
 
-	for step := 0; ; step++ {
+	startStep := 0
+	if resumeSnap != nil {
+		// Restore the boundary after superstep resumeSnap.Step, then redo
+		// the boundary's engine-local work: re-deliver the in-flight
+		// messages into inboxes and (under sparse activation) rebuild the
+		// worklist. Neither is re-charged — the restored profile already
+		// contains the original charges — and both go through the same
+		// code the original boundary used, so every downstream quantity is
+		// bit-identical to the uninterrupted run's.
+		live = restore(resumeSnap, res, halted, master, cfg.Recorder)
+		startStep = int(resumeSnap.Step) + 1
+		sendBuf = make([]Message, len(resumeSnap.MsgDest))
+		for i := range sendBuf {
+			sendBuf[i] = Message{Dest: resumeSnap.MsgDest[i], Value: resumeSnap.MsgVal[i]}
+		}
+		delivered := scratch.deliver(sendBuf, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, resumeSnap.Step)
+		if cfg.SparseActivation {
+			// At any boundary the wake set equals the non-halted set (every
+			// non-halted vertex re-ran this superstep and stayed awake), so
+			// the worklist rebuild sees exactly what the original run's did.
+			wake := make([]int64, 0, live)
+			for v := int64(0); v < n; v++ {
+				if !halted[v] {
+					wake = append(wake, v)
+				}
+			}
+			candidates = scratch.nextWorklist(candidates, int(resumeSnap.Step), wake, delivered, sendBuf, stamp, n)
+		}
+	}
+
+	for step := startStep; ; step++ {
 		if step >= maxSteps {
-			return nil, fmt.Errorf("core: no convergence after %d supersteps", maxSteps)
+			be := &BudgetError{MaxSupersteps: maxSteps, Live: live}
+			if k := len(res.ActivePerStep); k > 0 {
+				be.LastActive = res.ActivePerStep[k-1]
+				be.LastSent = res.MessagesPerStep[k-1]
+			}
+			if k := len(res.DeliveredPerStep); k > 0 {
+				be.LastDelivered = res.DeliveredPerStep[k-1]
+			}
+			return nil, be
 		}
 		// The runtime decides which vertices run. The paper's XMT-C
 		// implementation scans every vertex's queue head and halt flag — a
@@ -267,17 +371,15 @@ func Run(cfg Config) (*Result, error) {
 				cs := scratch.chunks[c]
 				cs.reset(step, master.prevAggregates)
 				cs.eng.sendBuf = buf
-				if sparse {
-					for i := lo; i < hi; i++ {
-						cs.runVertex(prog, candidates[i], step, ib, halted, true)
-					}
-				} else {
-					for v := lo; v < hi; v++ {
-						cs.runVertex(prog, int64(v), step, ib, halted, false)
-					}
-				}
+				cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
 				buf = cs.eng.sendBuf
 				cs.eng.sendBuf = nil
+				if cs.trap != nil {
+					// A trapped chunk is the lowest one (index order); later
+					// chunks won't run, matching the parallel path's
+					// lowest-chunk-wins fold in firstTrap.
+					break
+				}
 			}
 			sendBuf = buf
 			if o != nil {
@@ -289,17 +391,13 @@ func Run(cfg Config) (*Result, error) {
 			par.ForFixedChunks(count, chunkSize, func(c, lo, hi int) {
 				cs := scratch.chunks[c]
 				cs.reset(step, master.prevAggregates)
-				if sparse {
-					for i := lo; i < hi; i++ {
-						cs.runVertex(prog, candidates[i], step, ib, halted, true)
-					}
-				} else {
-					for v := lo; v < hi; v++ {
-						cs.runVertex(prog, int64(v), step, ib, halted, false)
-					}
-				}
+				cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
 			})
 			sendBuf = scratch.concatSends(sendBuf, numChunks)
+		}
+		if pe := scratch.firstTrap(numChunks, step); pe != nil {
+			pe.CheckpointPath = ck.emergency()
+			return nil, pe
 		}
 		if o != nil {
 			o.phase(obsPhaseCompute, step, tObs)
@@ -311,7 +409,7 @@ func Run(cfg Config) (*Result, error) {
 		live += haltDelta
 		sent := int64(len(sendBuf))
 		if sent > maxMsgs {
-			return nil, fmt.Errorf("core: superstep %d sent %d messages, exceeding the %d cap; use a streaming evaluator", step, sent, maxMsgs)
+			return nil, &MessageCapError{Superstep: step, Sent: sent, Cap: maxMsgs}
 		}
 		scratch.mergeAggregates(master, numChunks)
 
@@ -383,6 +481,21 @@ func Run(cfg Config) (*Result, error) {
 				Step: step, Active: active, Sent: sent, Delivered: delivered, Received: received,
 				ScratchBytes: scratch.scratchBytes(sendBuf, inboxOff, inboxVal, candidates, stamp),
 			})
+		}
+
+		// Superstep boundary: snapshot/write checkpoints and honor stop
+		// requests (checkpoint.go). The terminal superstep exits above, so
+		// completed runs never checkpoint.
+		if ck != nil {
+			if o != nil {
+				tObs = time.Now()
+			}
+			if err := ck.atBoundary(step, live, res, halted, sendBuf, master, cfg.Recorder); err != nil {
+				return nil, err
+			}
+			if o != nil && ck.policy != nil {
+				o.phase(obsPhaseCheckpoint, step, tObs)
+			}
 		}
 	}
 	for name, agg := range master.aggregates {

@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// ProgramError reports a vertex-program panic recovered by the engine. No
+// panic raised inside Program.InitialState or Program.Compute escapes Run:
+// the sweep traps it (deterministically — the lowest panicking vertex wins,
+// independent of the host worker count), the engine writes an emergency
+// checkpoint of the last completed superstep boundary when a checkpoint
+// policy is configured, and Run returns this error.
+type ProgramError struct {
+	// Vertex is the vertex whose program panicked.
+	Vertex int64
+	// Superstep is the superstep during which the panic occurred; -1 for
+	// the InitialState sweep.
+	Superstep int
+	// Phase is "init" (InitialState sweep) or "compute" (Compute sweep).
+	Phase string
+	// Recovered is the value the panic carried.
+	Recovered any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+	// CheckpointPath is the emergency checkpoint written before returning,
+	// or "" when none was (no policy, or no completed boundary yet).
+	CheckpointPath string
+}
+
+func (e *ProgramError) Error() string {
+	return fmt.Sprintf("core: vertex program panicked at vertex %d, superstep %d, phase %s: %v",
+		e.Vertex, e.Superstep, e.Phase, e.Recovered)
+}
+
+// InterruptedError reports a run stopped at a superstep boundary by
+// Config.Stop or a fault-injected kill. The completed superstep's state was
+// checkpointed (when a policy is configured) so the run can resume.
+type InterruptedError struct {
+	// Superstep is the last completed superstep.
+	Superstep int
+	// CheckpointPath is the checkpoint covering that boundary, or "" when
+	// no checkpoint policy was configured.
+	CheckpointPath string
+}
+
+func (e *InterruptedError) Error() string {
+	if e.CheckpointPath == "" {
+		return fmt.Sprintf("core: run interrupted after superstep %d (no checkpoint policy configured)", e.Superstep)
+	}
+	return fmt.Sprintf("core: run interrupted after superstep %d; checkpoint written to %s", e.Superstep, e.CheckpointPath)
+}
+
+// BudgetError reports a run that exceeded Config.MaxSupersteps without
+// converging — the runaway guard for non-terminating vertex programs. It
+// carries the last completed superstep's counters so the caller can see
+// whether the computation was making progress.
+type BudgetError struct {
+	// MaxSupersteps is the bound that was exceeded.
+	MaxSupersteps int
+	// LastActive / LastSent / LastDelivered are the final superstep's
+	// counters (zero when the budget was 0 supersteps).
+	LastActive    int64
+	LastSent      int64
+	LastDelivered int64
+	// Live is the number of non-halted vertices when the run stopped.
+	Live int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: no convergence after %d supersteps (last superstep: %d active, %d sent, %d delivered; %d vertices live)",
+		e.MaxSupersteps, e.LastActive, e.LastSent, e.LastDelivered, e.Live)
+}
+
+// MessageCapError reports a superstep that exceeded
+// Config.MaxMessagesPerSuperstep. Algorithms that legitimately exceed it
+// (BSP triangle counting at scale) must use a streaming evaluator.
+type MessageCapError struct {
+	Superstep int
+	Sent      int64
+	Cap       int64
+}
+
+func (e *MessageCapError) Error() string {
+	return fmt.Sprintf("core: superstep %d sent %d messages, exceeding the %d cap; use a streaming evaluator",
+		e.Superstep, e.Sent, e.Cap)
+}

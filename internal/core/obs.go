@@ -26,11 +26,17 @@ const (
 	obsPhaseTerminate = "terminate" // chunk-partial merges + live-count termination check
 	obsPhaseDeliver   = "deliver"   // counting-sort delivery / combining
 	obsPhaseWorklist  = "worklist"  // sparse-activation worklist build
+
+	// obsPhaseCheckpoint is emitted only when a checkpoint policy is
+	// configured (the superstep-boundary snapshot + write), so it is not
+	// part of EnginePhases.
+	obsPhaseCheckpoint = "checkpoint"
 )
 
 // EnginePhases returns the obs span names Run emits for each superstep, in
 // execution order ("worklist" only under SparseActivation). The "init"
-// span (step -1) precedes superstep 0.
+// span (step -1) precedes superstep 0. Runs with a checkpoint policy
+// additionally emit a "checkpoint" span per superstep boundary.
 func EnginePhases() []string {
 	return []string{obsPhaseCompute, obsPhaseTerminate, obsPhaseDeliver, obsPhaseWorklist}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime/debug"
 
 	"graphxmt/internal/par"
 )
@@ -76,6 +77,44 @@ type chunkState struct {
 	// haltDelta is the net change to the live (non-halted) vertex count
 	// produced by this chunk's halt-flag transitions.
 	haltDelta int64
+	// trap records a vertex-program panic recovered while running this
+	// chunk (nil otherwise). The engine folds traps into a ProgramError
+	// after the sweep, lowest chunk first.
+	trap *programTrap
+}
+
+// programTrap is one recovered vertex-program panic.
+type programTrap struct {
+	vertex int64
+	val    any
+	stack  []byte
+}
+
+// guard converts a vertex-program panic into a chunk-local trap. Deferred
+// once per chunk (not per vertex), so its hot-path cost is one defer per
+// few hundred vertices. The trapped vertex is whatever the chunk's context
+// was positioned on — runVertex sets ctx.id before calling Compute.
+func (cs *chunkState) guard() {
+	if r := recover(); r != nil {
+		cs.trap = &programTrap{vertex: cs.ctx.id, val: r, stack: debug.Stack()}
+	}
+}
+
+// runRange executes the chunk's vertex range under the panic guard. par
+// spawns workers without any recovery of its own, so the guard must live
+// inside the per-chunk closure — a program panic that escaped here would
+// kill the process.
+func (cs *chunkState) runRange(p Program, lo, hi, step int, ib *inboxView, halted []bool, sparse bool, candidates []int64) {
+	defer cs.guard()
+	if sparse {
+		for i := lo; i < hi; i++ {
+			cs.runVertex(p, candidates[i], step, ib, halted, true)
+		}
+	} else {
+		for v := lo; v < hi; v++ {
+			cs.runVertex(p, int64(v), step, ib, halted, false)
+		}
+	}
 }
 
 // reset prepares the chunk for one superstep. Aggregator partials are not
@@ -88,6 +127,7 @@ func (cs *chunkState) reset(step int, prevAggs map[string]int64) {
 	cs.eng.prevAggregates = prevAggs
 	cs.active, cs.received, cs.haltDelta = 0, 0, 0
 	cs.wake = cs.wake[:0]
+	cs.trap = nil
 }
 
 // inboxView is the sweep's read-side of the inbox. Dense mode reads the
@@ -218,6 +258,26 @@ func (s *runScratch) mergeCounters(numChunks int) (active, received, extraIssue,
 	return
 }
 
+// firstTrap returns the ProgramError for the lowest-indexed chunk that
+// trapped a vertex-program panic this superstep, or nil. Chunk boundaries
+// are worker-independent and each chunk runs its vertices in ascending
+// order, so the reported vertex is the lowest panicking vertex — identical
+// at any host worker count.
+func (s *runScratch) firstTrap(numChunks, step int) *ProgramError {
+	for _, cs := range s.chunks[:numChunks] {
+		if cs.trap != nil {
+			return &ProgramError{
+				Vertex:    cs.trap.vertex,
+				Superstep: step,
+				Phase:     "compute",
+				Recovered: cs.trap.val,
+				Stack:     cs.trap.stack,
+			}
+		}
+	}
+	return nil
+}
+
 // concatSends concatenates the per-chunk send buffers into dst in chunk
 // index order — exactly the send order a sequential sweep would have
 // produced — copying chunks in parallel.
@@ -273,6 +333,12 @@ func (s *runScratch) mergeAggregates(master *engineState, numChunks int) {
 			if !ok {
 				m = &aggregator{reduce: a.reduce}
 				master.aggregates[name] = m
+			}
+			if m.reduce == nil {
+				// An aggregator restored from a checkpoint carries its value
+				// but not its (unserializable) reduction; adopt the one the
+				// resumed program registered.
+				m.reduce = a.reduce
 			}
 			if !m.seeded {
 				m.value, m.seeded = a.value, true

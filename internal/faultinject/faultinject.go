@@ -1,0 +1,209 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// BSP engine's checkpoint/recovery machinery. A Plan is keyed by superstep
+// (and, for program panics, vertex) and can:
+//
+//   - panic a vertex program at an exact (superstep, vertex), or in the
+//     InitialState sweep;
+//   - fail a checkpoint write mid-stream (exercising write atomicity);
+//   - deliver a simulated kill at a superstep boundary (the engine
+//     behaves exactly as for SIGTERM: checkpoint, then InterruptedError);
+//   - corrupt checkpoints already on disk (bit flips, truncation).
+//
+// Everything is deterministic — no timers, no signals, no randomness — so
+// the recovery tests can kill a run at every superstep boundary and assert
+// bit-identical resumption. cmd/bspgraph exposes plans through the hidden
+// -fault-plan flag for CI's signal-free smoke tests.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphxmt/internal/ckpt"
+	"graphxmt/internal/core"
+	"graphxmt/internal/graph"
+)
+
+// InitStep is the pseudo-superstep identifying the InitialState sweep in
+// panic directives ("panic@init:V").
+const InitStep = int64(-1)
+
+// ErrInjectedWrite is the error injected write failures surface.
+var ErrInjectedWrite = errors.New("faultinject: injected checkpoint write failure")
+
+// Plan is a deterministic fault schedule. The zero value injects nothing.
+type Plan struct {
+	// PanicAt maps superstep → vertex whose program panics in that
+	// superstep (InitStep for the InitialState sweep).
+	PanicAt map[int64]int64
+	// FailWriteAt holds the superstep boundaries whose checkpoint write
+	// fails mid-stream.
+	FailWriteAt map[int64]bool
+	// KillAt holds the superstep boundaries at which a simulated kill is
+	// delivered.
+	KillAt map[int64]bool
+}
+
+// ParsePlan parses a fault-plan spec: semicolon-separated directives of
+// the forms
+//
+//	panic@S:V     panic vertex V's program in superstep S (S may be "init")
+//	failwrite@S   fail the checkpoint write at the boundary after superstep S
+//	kill@S        simulated kill at the boundary after superstep S
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, dir := range strings.Split(spec, ";") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		kind, arg, ok := strings.Cut(dir, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: directive %q has no @", dir)
+		}
+		switch kind {
+		case "panic":
+			stepStr, vertStr, ok := strings.Cut(arg, ":")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: panic directive %q needs step:vertex", dir)
+			}
+			step := InitStep
+			if stepStr != "init" {
+				var err error
+				step, err = strconv.ParseInt(stepStr, 10, 64)
+				if err != nil || step < 0 {
+					return nil, fmt.Errorf("faultinject: bad superstep %q in %q", stepStr, dir)
+				}
+			}
+			vertex, err := strconv.ParseInt(vertStr, 10, 64)
+			if err != nil || vertex < 0 {
+				return nil, fmt.Errorf("faultinject: bad vertex %q in %q", vertStr, dir)
+			}
+			if p.PanicAt == nil {
+				p.PanicAt = map[int64]int64{}
+			}
+			p.PanicAt[step] = vertex
+		case "failwrite", "kill":
+			step, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || step < 0 {
+				return nil, fmt.Errorf("faultinject: bad superstep %q in %q", arg, dir)
+			}
+			m := &p.FailWriteAt
+			if kind == "kill" {
+				m = &p.KillAt
+			}
+			if *m == nil {
+				*m = map[int64]bool{}
+			}
+			(*m)[step] = true
+		default:
+			return nil, fmt.Errorf("faultinject: unknown directive kind %q in %q", kind, dir)
+		}
+	}
+	return p, nil
+}
+
+// Hooks returns the ckpt hooks realizing the plan's write failures and
+// kills, or nil when the plan has neither.
+func (p *Plan) Hooks() *ckpt.Hooks {
+	if p == nil || (len(p.FailWriteAt) == 0 && len(p.KillAt) == 0) {
+		return nil
+	}
+	return &ckpt.Hooks{
+		WrapWrite: func(step int64, w io.Writer) io.Writer {
+			if !p.FailWriteAt[step] {
+				return w
+			}
+			// Let part of the header through so the failure lands
+			// mid-stream, after bytes have already hit the temp file.
+			return &failingWriter{w: w, remaining: 12}
+		},
+		Kill: func(step int64) bool { return p.KillAt[step] },
+	}
+}
+
+type failingWriter struct {
+	w         io.Writer
+	remaining int
+}
+
+func (f *failingWriter) Write(b []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, ErrInjectedWrite
+	}
+	if len(b) > f.remaining {
+		n, err := f.w.Write(b[:f.remaining])
+		f.remaining = 0
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedWrite
+	}
+	f.remaining -= len(b)
+	return f.w.Write(b)
+}
+
+// WrapProgram wraps prog so it panics at the plan's (superstep, vertex)
+// coordinates. The wrapper forwards the inner program's fingerprint name,
+// so wrapped and unwrapped runs produce interchangeable checkpoints. A
+// plan with no panics returns prog unchanged (zero engine overhead).
+func (p *Plan) WrapProgram(prog core.Program) core.Program {
+	if p == nil || len(p.PanicAt) == 0 {
+		return prog
+	}
+	return &panicProgram{inner: prog, plan: p}
+}
+
+type panicProgram struct {
+	inner core.Program
+	plan  *Plan
+}
+
+func (pp *panicProgram) InitialState(g *graph.Graph, v int64) int64 {
+	if target, ok := pp.plan.PanicAt[InitStep]; ok && target == v {
+		panic(fmt.Sprintf("faultinject: planned panic in InitialState at vertex %d", v))
+	}
+	return pp.inner.InitialState(g, v)
+}
+
+func (pp *panicProgram) Compute(v *core.VertexContext) {
+	if target, ok := pp.plan.PanicAt[int64(v.Superstep())]; ok && target == v.ID() {
+		panic(fmt.Sprintf("faultinject: planned panic at superstep %d, vertex %d", v.Superstep(), v.ID()))
+	}
+	pp.inner.Compute(v)
+}
+
+// ProgramName forwards the inner program's fingerprint identity.
+func (pp *panicProgram) ProgramName() string {
+	return core.ProgramNameOf(pp.inner)
+}
+
+// FlipBit flips the given bit of the byte at offset in the file at path —
+// the on-disk corruption primitive for checkpoint validation tests.
+func FlipBit(path string, offset int64, bit uint) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return fmt.Errorf("faultinject: offset %d out of range for %d-byte file %s", offset, len(data), path)
+	}
+	data[offset] ^= 1 << (bit % 8)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TruncateTail removes the final n bytes of the file at path.
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > fi.Size() {
+		return fmt.Errorf("faultinject: cannot truncate %d bytes from %d-byte file %s", n, fi.Size(), path)
+	}
+	return os.Truncate(path, fi.Size()-n)
+}

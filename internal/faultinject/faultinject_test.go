@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphxmt/internal/core"
+	"graphxmt/internal/graph"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("panic@3:42; failwrite@2;kill@5 ; panic@init:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PanicAt[3] != 42 || p.PanicAt[InitStep] != 7 {
+		t.Fatalf("PanicAt = %v", p.PanicAt)
+	}
+	if !p.FailWriteAt[2] || !p.KillAt[5] {
+		t.Fatalf("FailWriteAt = %v, KillAt = %v", p.FailWriteAt, p.KillAt)
+	}
+
+	if p, err := ParsePlan(""); err != nil || p == nil {
+		t.Fatalf("empty spec: %v, %v", p, err)
+	}
+
+	for _, bad := range []string{
+		"panic@3",        // missing vertex
+		"panic@x:1",      // bad superstep
+		"panic@3:q",      // bad vertex
+		"failwrite@",     // missing superstep
+		"kill@-2",        // negative superstep
+		"explode@3",      // unknown directive
+		"failwrite@init", // init has no checkpoint boundary
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHooksNilWhenUnused(t *testing.T) {
+	p, err := ParsePlan("panic@1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := p.Hooks(); h != nil {
+		t.Fatalf("panic-only plan produced hooks %+v", h)
+	}
+	if (&Plan{}).Hooks() != nil {
+		t.Fatal("empty plan produced hooks")
+	}
+}
+
+func TestFailingWriter(t *testing.T) {
+	p, err := ParsePlan("failwrite@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Hooks()
+	if h == nil || h.WrapWrite == nil {
+		t.Fatal("failwrite plan produced no write hook")
+	}
+
+	// Untargeted steps pass through untouched.
+	var clean bytes.Buffer
+	w := h.WrapWrite(3, &clean)
+	if n, err := w.Write(make([]byte, 100)); n != 100 || err != nil {
+		t.Fatalf("untargeted write: n=%d err=%v", n, err)
+	}
+
+	// The targeted step lets a partial header through, then fails every
+	// subsequent write — the stream is cut mid-file, not cleanly at zero.
+	var cut bytes.Buffer
+	w = h.WrapWrite(4, &cut)
+	n, err := w.Write(make([]byte, 100))
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("targeted write: err=%v", err)
+	}
+	if n == 0 || n >= 100 {
+		t.Fatalf("targeted write reported n=%d; want a strict partial write", n)
+	}
+	if cut.Len() != n {
+		t.Fatalf("wrote %d bytes to the underlying stream, reported %d", cut.Len(), n)
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("second write after failure: %v", err)
+	}
+}
+
+func TestKillHook(t *testing.T) {
+	p, err := ParsePlan("kill@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Hooks()
+	if h == nil || h.Kill == nil {
+		t.Fatal("kill plan produced no kill hook")
+	}
+	if h.Kill(6) || !h.Kill(7) {
+		t.Fatal("kill hook fires at the wrong boundary")
+	}
+}
+
+type probeProgram struct{ name string }
+
+func (probeProgram) InitialState(*graph.Graph, int64) int64 { return 0 }
+func (probeProgram) Compute(v *core.VertexContext)          { v.VoteToHalt() }
+func (p probeProgram) ProgramName() string                  { return p.name }
+
+func TestWrapProgram(t *testing.T) {
+	inner := probeProgram{name: "probe"}
+	if p := (&Plan{}).WrapProgram(inner); p != core.Program(inner) {
+		t.Fatal("plan with no panics should return the program unchanged")
+	}
+
+	plan, err := ParsePlan("panic@2:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := plan.WrapProgram(inner)
+	if wrapped == core.Program(inner) {
+		t.Fatal("panic plan did not wrap the program")
+	}
+	// The wrapper must forward the inner program's identity so resume
+	// fingerprints match the unwrapped program.
+	if got := core.ProgramNameOf(wrapped); got != "probe" {
+		t.Fatalf("wrapped program name %q, want %q", got, "probe")
+	}
+}
+
+func TestFlipBitAndTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte{0x00, 0xff, 0x10, 0x20}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{0x00, 0xfe, 0x10, 0x20}) {
+		t.Fatalf("after FlipBit: % x", data)
+	}
+	if err := FlipBit(path, 99, 0); err == nil {
+		t.Fatal("FlipBit past EOF accepted")
+	}
+
+	if err := TruncateTail(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{0x00}) {
+		t.Fatalf("after TruncateTail: % x", data)
+	}
+	if err := TruncateTail(path, 5); err == nil {
+		t.Fatal("TruncateTail beyond file size accepted")
+	}
+}

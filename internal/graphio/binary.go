@@ -76,41 +76,55 @@ func writeInt64s(w io.Writer, s []int64) error {
 	return nil
 }
 
-// ReadBinary reads a binary CSR snapshot written by WriteBinary.
+// ReadBinary reads a binary CSR snapshot written by WriteBinary. Any
+// defect in the stream — bad magic, unknown flags, implausible sizes,
+// truncation, trailing garbage, or CSR arrays that fail the structural
+// invariants (monotone offsets, in-range adjacency, matching weights) —
+// is reported as a *CorruptError naming the offending section.
 func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var gotMagic [8]byte
 	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
-		return nil, fmt.Errorf("graphio: reading magic: %w", err)
+		return nil, &CorruptError{Section: "magic", Reason: "short read", Err: err}
 	}
 	if gotMagic != magic {
-		return nil, fmt.Errorf("graphio: bad magic %q", gotMagic[:])
+		return nil, &CorruptError{Section: "magic", Reason: fmt.Sprintf("bad magic %q", gotMagic[:])}
 	}
 	var flags, n, m uint64
 	for _, p := range []*uint64{&flags, &n, &m} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("graphio: reading header: %w", err)
+			return nil, &CorruptError{Section: "header", Reason: "short read", Err: err}
 		}
+	}
+	if unknown := flags &^ (flagDirected | flagWeighted); unknown != 0 {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("unknown flag bits %#x", unknown)}
 	}
 	const sane = 1 << 40
 	if n > sane || m > sane {
-		return nil, fmt.Errorf("graphio: implausible sizes n=%d m=%d", n, m)
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("implausible sizes n=%d m=%d", n, m)}
 	}
 	offsets, err := readInt64s(br, int(n)+1)
 	if err != nil {
-		return nil, fmt.Errorf("graphio: reading offsets: %w", err)
+		return nil, &CorruptError{Section: "offsets", Reason: "short read", Err: err}
 	}
 	adj, err := readInt64s(br, int(m))
 	if err != nil {
-		return nil, fmt.Errorf("graphio: reading adjacency: %w", err)
+		return nil, &CorruptError{Section: "adjacency", Reason: "short read", Err: err}
 	}
 	var weights []int64
 	if flags&flagWeighted != 0 {
 		if weights, err = readInt64s(br, int(m)); err != nil {
-			return nil, fmt.Errorf("graphio: reading weights: %w", err)
+			return nil, &CorruptError{Section: "weights", Reason: "short read", Err: err}
 		}
 	}
-	return graph.FromCSR(int64(n), offsets, adj, weights, flags&flagDirected != 0)
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, &CorruptError{Section: "trailer", Reason: "trailing bytes after snapshot"}
+	}
+	g, err := graph.FromCSR(int64(n), offsets, adj, weights, flags&flagDirected != 0)
+	if err != nil {
+		return nil, &CorruptError{Section: "structure", Reason: err.Error(), Err: err}
+	}
+	return g, nil
 }
 
 func readInt64s(r io.Reader, n int) ([]int64, error) {

@@ -52,58 +52,58 @@ func ReadDIMACS(r io.Reader, opt DIMACSOptions) (*graph.Graph, error) {
 			// comment
 		case "p":
 			if n >= 0 {
-				return nil, fmt.Errorf("graphio: line %d: duplicate problem line", line)
+				return nil, parseErrf(line, "duplicate problem line")
 			}
 			if len(fields) < 4 {
-				return nil, fmt.Errorf("graphio: line %d: malformed problem line", line)
+				return nil, parseErrf(line, "malformed problem line")
 			}
 			v, err := strconv.ParseInt(fields[2], 10, 64)
 			if err != nil || v < 0 {
-				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[2])
+				return nil, parseErrf(line, "bad vertex count %q", fields[2])
 			}
 			maxN := opt.MaxVertices
 			if maxN <= 0 {
 				maxN = 1 << 26
 			}
 			if v > maxN {
-				return nil, fmt.Errorf("graphio: line %d: vertex count %d exceeds limit %d (raise DIMACSOptions.MaxVertices)", line, v, maxN)
+				return nil, parseErrf(line, "vertex count %d exceeds limit %d (raise DIMACSOptions.MaxVertices)", v, maxN)
 			}
 			n = v
 		case "e", "a":
 			if n < 0 {
-				return nil, fmt.Errorf("graphio: line %d: edge before problem line", line)
+				return nil, parseErrf(line, "edge before problem line")
 			}
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("graphio: line %d: malformed edge", line)
+				return nil, parseErrf(line, "malformed edge")
 			}
 			u, err1 := strconv.ParseInt(fields[1], 10, 64)
 			v, err2 := strconv.ParseInt(fields[2], 10, 64)
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("graphio: line %d: bad edge endpoints", line)
+				return nil, parseErrf(line, "bad edge endpoints")
 			}
 			if u < 1 || u > n || v < 1 || v > n {
-				return nil, fmt.Errorf("graphio: line %d: endpoint out of [1,%d]", line, n)
+				return nil, parseErrf(line, "endpoint out of [1,%d]", n)
 			}
 			edges = append(edges, graph.Edge{U: u - 1, V: v - 1})
 			var w int64 = 1
 			if len(fields) >= 4 {
 				pw, err := strconv.ParseInt(fields[3], 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("graphio: line %d: bad weight %q", line, fields[3])
+					return nil, parseErrf(line, "bad weight %q", fields[3])
 				}
 				w = pw
 				sawWeight = true
 			}
 			weights = append(weights, w)
 		default:
-			return nil, fmt.Errorf("graphio: line %d: unknown record %q", line, fields[0])
+			return nil, parseErrf(line, "unknown record %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, &ParseError{Line: line + 1, Reason: "read error", Err: err}
 	}
 	if n < 0 {
-		return nil, fmt.Errorf("graphio: missing problem line")
+		return nil, &ParseError{Reason: "missing problem line"}
 	}
 	bopt := graph.BuildOptions{
 		Directed:       opt.Directed,

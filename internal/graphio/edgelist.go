@@ -43,12 +43,12 @@ func ReadEdgeList(r io.Reader, opt EdgeListOptions) (*graph.Graph, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graphio: line %d: need two vertex IDs", line)
+			return nil, parseErrf(line, "need two vertex IDs")
 		}
 		u, err1 := strconv.ParseInt(fields[0], 10, 64)
 		v, err2 := strconv.ParseInt(fields[1], 10, 64)
 		if err1 != nil || err2 != nil || u < 0 || v < 0 {
-			return nil, fmt.Errorf("graphio: line %d: bad vertex IDs %q %q", line, fields[0], fields[1])
+			return nil, parseErrf(line, "bad vertex IDs %q %q", fields[0], fields[1])
 		}
 		if u > maxID {
 			maxID = u
@@ -61,7 +61,7 @@ func ReadEdgeList(r io.Reader, opt EdgeListOptions) (*graph.Graph, error) {
 		if len(fields) >= 3 {
 			pw, err := strconv.ParseInt(fields[2], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("graphio: line %d: bad weight %q", line, fields[2])
+				return nil, parseErrf(line, "bad weight %q", fields[2])
 			}
 			w = pw
 			sawWeight = true
@@ -69,14 +69,14 @@ func ReadEdgeList(r io.Reader, opt EdgeListOptions) (*graph.Graph, error) {
 		weights = append(weights, w)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, &ParseError{Line: line + 1, Reason: "read error", Err: err}
 	}
 	maxN := opt.MaxVertices
 	if maxN <= 0 {
 		maxN = 1 << 26
 	}
 	if maxID+1 > maxN {
-		return nil, fmt.Errorf("graphio: inferred vertex count %d exceeds limit %d", maxID+1, maxN)
+		return nil, parseErrf(0, "inferred vertex count %d exceeds limit %d", maxID+1, maxN)
 	}
 	bopt := graph.BuildOptions{Directed: opt.Directed, SortAdjacency: true}
 	if sawWeight {

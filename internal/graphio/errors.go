@@ -1,0 +1,48 @@
+package graphio
+
+import "fmt"
+
+// ParseError reports a defect in a text-format graph file (DIMACS or edge
+// list). Line is 1-based; 0 means the defect is not attributable to a
+// single line (e.g. a missing problem line).
+type ParseError struct {
+	// Line is the 1-based line number, or 0 for whole-file defects.
+	Line int
+	// Reason describes the defect.
+	Reason string
+	// Err is the underlying error, if any.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("graphio: line %d: %s", e.Line, e.Reason)
+	}
+	return fmt.Sprintf("graphio: %s", e.Reason)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// parseErrf builds a *ParseError with a formatted reason.
+func parseErrf(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Reason: fmt.Sprintf(format, args...)}
+}
+
+// CorruptError reports a binary CSR snapshot that is truncated, damaged,
+// or structurally invalid. Section names the part of the file where the
+// defect was detected.
+type CorruptError struct {
+	// Section is one of "magic", "header", "offsets", "adjacency",
+	// "weights", "trailer", or "structure".
+	Section string
+	// Reason describes the defect.
+	Reason string
+	// Err is the underlying error, if any.
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("graphio: corrupt snapshot (%s): %s", e.Section, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }

@@ -170,6 +170,86 @@ func (p *Phase) String() string {
 		p.Name, p.Index, p.Tasks, p.Issue, p.Loads, p.Stores, p.HotTotal(), p.MaxTask)
 }
 
+// PhaseState is the value-type snapshot of a Phase: every profile field
+// the machine model and the determinism tests consume, without the
+// synchronization state (Phase embeds a mutex, so it cannot be copied as a
+// struct). Detail (per-task costs) is intentionally excluded — it exists
+// only for the discrete-event model and is not part of the checkpointable
+// profile (see docs/ROBUSTNESS.md).
+type PhaseState struct {
+	Name     string
+	Index    int
+	Tasks    int64
+	Issue    int64
+	Loads    int64
+	Stores   int64
+	MaxTask  int64
+	Hot      [NumHotClasses]int64
+	Barriers int64
+}
+
+// State snapshots the phase's profile fields. The phase must be quiescent
+// (no concurrent Add* calls), which holds at any superstep boundary.
+func (p *Phase) State() PhaseState {
+	return PhaseState{
+		Name:     p.Name,
+		Index:    p.Index,
+		Tasks:    p.Tasks,
+		Issue:    p.Issue,
+		Loads:    p.Loads,
+		Stores:   p.Stores,
+		MaxTask:  p.MaxTask,
+		Hot:      p.Hot,
+		Barriers: p.Barriers,
+	}
+}
+
+// NewPhaseFromState materializes a phase from a snapshot.
+func NewPhaseFromState(s PhaseState) *Phase {
+	return &Phase{
+		Name:     s.Name,
+		Index:    s.Index,
+		Tasks:    s.Tasks,
+		Issue:    s.Issue,
+		Loads:    s.Loads,
+		Stores:   s.Stores,
+		MaxTask:  s.MaxTask,
+		Hot:      s.Hot,
+		Barriers: s.Barriers,
+	}
+}
+
+// StateSnapshot snapshots every recorded phase, in order. Used by the BSP
+// engine's checkpoint writer; the recorder must be quiescent.
+func (r *Recorder) StateSnapshot() []PhaseState {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PhaseState, len(r.phases))
+	for i, p := range r.phases {
+		out[i] = p.State()
+	}
+	return out
+}
+
+// RestoreState replaces the recorder's phases with ones materialized from
+// the snapshot, preserving the attached observer. Used on resume from a
+// checkpoint so the accumulated profile continues bit-identically.
+func (r *Recorder) RestoreState(states []PhaseState) {
+	if r == nil {
+		return
+	}
+	phases := make([]*Phase, len(states))
+	for i, s := range states {
+		phases[i] = NewPhaseFromState(s)
+	}
+	r.mu.Lock()
+	r.phases = phases
+	r.mu.Unlock()
+}
+
 // PhaseObserver receives a host-side notification for every StartPhase
 // call on a Recorder it is attached to. It is the cross-link between the
 // simulated work profile and host-runtime observability (package obs): a
