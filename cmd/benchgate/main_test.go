@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: graphxmt/internal/core
+BenchmarkEngineDenseFlood-8   	      10	 100000000 ns/op	  64 B/op	       2 allocs/op
+BenchmarkEngineDenseFlood-8   	      10	 120000000 ns/op	  64 B/op	       2 allocs/op
+BenchmarkEngineDenseFlood-8   	      10	 110000000 ns/op	  64 B/op	       2 allocs/op
+BenchmarkEngineSparseRelay-8  	     100	   5000000 ns/op
+PASS
+`
+
+// The same results as test2json would stream them, including a non-output
+// event and a result split across pkg lines.
+const benchJSON = `{"Action":"start","Package":"graphxmt/internal/core"}
+{"Action":"output","Package":"graphxmt/internal/core","Output":"BenchmarkEngineDenseFlood-8   \t      10\t 100000000 ns/op\n"}
+{"Action":"output","Package":"graphxmt/internal/core","Output":"BenchmarkEngineDenseFlood-8   \t      10\t 120000000 ns/op\n"}
+{"Action":"output","Package":"graphxmt/internal/core","Output":"BenchmarkEngineDenseFlood-8   \t      10\t 110000000 ns/op\n"}
+{"Action":"output","Package":"graphxmt/internal/core","Output":"BenchmarkEngineSparseRelay-8  \t     100\t   5000000 ns/op\n"}
+{"Action":"pass","Package":"graphxmt/internal/core"}
+`
+
+func TestParseTextAndJSON(t *testing.T) {
+	for name, input := range map[string]string{"text": benchText, "json": benchJSON} {
+		t.Run(name, func(t *testing.T) {
+			res, err := parse(strings.NewReader(input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// GOMAXPROCS suffix stripped, three samples accumulated.
+			if got := res["BenchmarkEngineDenseFlood"]; len(got) != 3 {
+				t.Fatalf("DenseFlood samples = %v, want 3", got)
+			}
+			if got := res["BenchmarkEngineSparseRelay"]; len(got) != 1 || got[0] != 5e6 {
+				t.Fatalf("SparseRelay samples = %v", got)
+			}
+		})
+	}
+}
+
+func TestParseSubBenchmarkNames(t *testing.T) {
+	res, err := parse(strings.NewReader(
+		"BenchmarkEngineSkewTC/sched=degree-8 \t 1\t 42 ns/op\n" +
+			"BenchmarkEngineSkewTC/sched=fixed \t 1\t 43 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BenchmarkEngineSkewTC/sched=degree", "BenchmarkEngineSkewTC/sched=fixed"} {
+		if len(res[want]) != 1 {
+			t.Fatalf("missing %q in %v", want, res)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	// median must not reorder the caller's slice
+	s := []float64{9, 1, 5}
+	median(s)
+	if s[0] != 9 {
+		t.Fatal("median mutated its input")
+	}
+}
+
+func TestCompareGatesOnMedian(t *testing.T) {
+	oldRes := map[string][]float64{
+		"A": {100, 100, 100},
+		"B": {100, 100, 100},
+		"C": {100},
+	}
+	newRes := map[string][]float64{
+		"A": {109, 109, 109},  // +9%: within a 10% gate
+		"B": {115, 115, 1000}, // median 115: +15% regression despite the outlier sample
+		"D": {50},             // new benchmark: reported, never fails
+	}
+	rows, regressed := compare(oldRes, newRes, 10, nil)
+	if len(regressed) != 1 || regressed[0] != "B" {
+		t.Fatalf("regressed = %v, want [B]", regressed)
+	}
+	verdicts := map[string]string{}
+	for _, r := range rows {
+		verdicts[r.name] = r.verdict
+	}
+	want := map[string]string{"A": "ok", "B": "REGRESSED", "C": "removed", "D": "new"}
+	for name, v := range want {
+		if verdicts[name] != v {
+			t.Fatalf("verdict[%s] = %q, want %q (all: %v)", name, verdicts[name], v, verdicts)
+		}
+	}
+}
+
+func TestCompareFilter(t *testing.T) {
+	oldRes := map[string][]float64{"BenchmarkEngineX": {100}, "BenchmarkOther": {100}}
+	newRes := map[string][]float64{"BenchmarkEngineX": {100}, "BenchmarkOther": {500}}
+	_, regressed := compare(oldRes, newRes, 10, regexp.MustCompile("Engine"))
+	if len(regressed) != 0 {
+		t.Fatalf("filtered compare regressed = %v, want none", regressed)
+	}
+}
+
+func TestGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldF := filepath.Join(dir, "old.txt")
+	newF := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldF, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newF, []byte(benchJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := gate(&out, oldF, newF, 10, ""); err != nil {
+		t.Fatalf("identical results must pass the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkEngineDenseFlood") {
+		t.Fatalf("report missing benchmark row:\n%s", out.String())
+	}
+
+	// A 10x regression must fail and name the benchmark.
+	slow := strings.ReplaceAll(benchText, "5000000 ns/op", "50000000 ns/op")
+	slowF := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowF, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := gate(&out, oldF, slowF, 10, "")
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkEngineSparseRelay") {
+		t.Fatalf("gate error = %v, want SparseRelay regression", err)
+	}
+}
+
+func TestGateRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := gate(&out, empty, empty, 10, ""); err == nil {
+		t.Fatal("gate accepted input with no benchmark results")
+	}
+}

@@ -57,6 +57,7 @@ func main() {
 	ckptKeep := flag.Int("ckpt-keep", 0, "keep only the newest K periodic checkpoints (0 = all)")
 	resume := flag.String("resume", "", "resume from this checkpoint file")
 	faultPlan := flag.String("fault-plan", "", "fault-injection plan, e.g. \"kill@2;panic@3:17\" (testing)")
+	chunking := flag.String("chunking", "degree", "sweep chunk schedule: degree (edge-work weighted) or fixed (vertex count)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -77,6 +78,15 @@ func main() {
 	}
 	if *ckptKeep < 0 {
 		usage("-ckpt-keep must be >= 0, got %d", *ckptKeep)
+	}
+	var sched core.ChunkSchedule
+	switch strings.TrimSpace(*chunking) {
+	case "degree":
+		sched = core.ChunkDegree
+	case "fixed":
+		sched = core.ChunkFixed
+	default:
+		usage("-chunking must be degree or fixed, got %q", *chunking)
 	}
 	name := strings.TrimSpace(*alg)
 	checkpointed := *ckptDir != "" || *resume != ""
@@ -128,7 +138,7 @@ func main() {
 		label = fmt.Sprintf("%s seed=%d", name, 7)
 	}
 
-	var opts []core.Option
+	opts := []core.Option{core.WithChunking(sched)}
 	if checkpointed {
 		// With -resume but no -checkpoint-dir the policy is label-only:
 		// it validates the checkpoint's identity but writes nothing new.

@@ -77,6 +77,11 @@ type Fingerprint struct {
 	Combiner bool
 	// Sparse is Config.SparseActivation.
 	Sparse bool
+	// Schedule names the sweep chunk schedule the run uses ("degree" or
+	// "fixed"). Aggregator fold trees follow chunk boundaries, so a run may
+	// only resume under the schedule it started with; version-1 checkpoints
+	// decode as "fixed", the only schedule that existed then.
+	Schedule string
 	// MaxSupersteps / MaxMessages are the resolved engine bounds.
 	MaxSupersteps int64
 	MaxMessages   int64
@@ -99,6 +104,7 @@ func (fp Fingerprint) Check(want Fingerprint) error {
 		{"label", fp.Label, want.Label},
 		{"combiner", fmt.Sprint(fp.Combiner), fmt.Sprint(want.Combiner)},
 		{"sparse activation", fmt.Sprint(fp.Sparse), fmt.Sprint(want.Sparse)},
+		{"chunk schedule", fp.Schedule, want.Schedule},
 		{"max supersteps", fmt.Sprint(fp.MaxSupersteps), fmt.Sprint(want.MaxSupersteps)},
 		{"max messages", fmt.Sprint(fp.MaxMessages), fmt.Sprint(want.MaxMessages)},
 		{"cost schedule", fmt.Sprintf("%08x", fp.CostsCRC), fmt.Sprintf("%08x", want.CostsCRC)},

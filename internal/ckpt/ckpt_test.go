@@ -1,7 +1,9 @@
 package ckpt_test
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"os"
@@ -29,6 +31,7 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 			Label:         "label" + string(rune('a'+rng.Intn(26))),
 			Combiner:      rng.Intn(2) == 0,
 			Sparse:        rng.Intn(2) == 0,
+			Schedule:      []string{"degree", "fixed"}[rng.Intn(2)],
 			MaxSupersteps: int64(rng.Intn(1 << 20)),
 			MaxMessages:   int64(rng.Intn(1 << 30)),
 			CostsCRC:      rng.Uint32(),
@@ -213,6 +216,7 @@ func TestFingerprintCheck(t *testing.T) {
 		{"label", func(f *ckpt.Fingerprint) { f.Label = "src=1" }},
 		{"combiner", func(f *ckpt.Fingerprint) { f.Combiner = false }},
 		{"sparse activation", func(f *ckpt.Fingerprint) { f.Sparse = true }},
+		{"chunk schedule", func(f *ckpt.Fingerprint) { f.Schedule = "degree" }},
 		{"max supersteps", func(f *ckpt.Fingerprint) { f.MaxSupersteps = 5 }},
 		{"max messages", func(f *ckpt.Fingerprint) { f.MaxMessages = 5 }},
 		{"cost schedule", func(f *ckpt.Fingerprint) { f.CostsCRC++ }},
@@ -318,5 +322,55 @@ func TestLatestPathAndPrune(t *testing.T) {
 
 	if latest, _ = ckpt.LatestPath(t.TempDir()); latest != "" {
 		t.Fatalf("latest in empty dir = %q, want empty", latest)
+	}
+}
+
+// TestLoadVersion1DefaultsSchedule: a version-1 checkpoint (written before
+// chunk schedules existed) must load with Schedule "fixed" — the only
+// schedule version-1 runs could have used. The test splices the Schedule
+// string out of a version-2 file and rewrites the header, reconstructing
+// the exact v1 byte layout.
+func TestLoadVersion1DefaultsSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := randSnapshot(rng)
+	dir := t.TempDir()
+	path, err := ckpt.WriteFile(dir, s, ckpt.FileName(s.Step), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Payload layout up to Schedule: GraphCRC u32, Vertices i64, Edges i64,
+	// Program str, Label str, Combiner u8, Sparse u8, then Schedule str.
+	const header = 16
+	schedOff := header + 4 + 8 + 8 +
+		4 + len(s.FP.Program) +
+		4 + len(s.FP.Label) +
+		1 + 1
+	schedLen := 4 + len(s.FP.Schedule)
+	v1 := append([]byte{}, data[:schedOff]...)
+	v1 = append(v1, data[schedOff+schedLen:]...)
+	binary.LittleEndian.PutUint32(v1[8:12], 1)
+	payload := v1[header:]
+	binary.LittleEndian.PutUint32(v1[12:16], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+
+	v1path := filepath.Join(dir, "v1"+ckpt.Ext)
+	if err := os.WriteFile(v1path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(v1path)
+	if err != nil {
+		t.Fatalf("loading version-1 checkpoint: %v", err)
+	}
+	if got.FP.Schedule != "fixed" {
+		t.Fatalf("v1 Schedule = %q, want \"fixed\"", got.FP.Schedule)
+	}
+	want := *s
+	want.FP.Schedule = "fixed"
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("v1 round trip mismatch beyond Schedule:\nwant %+v\ngot  %+v", &want, got)
 	}
 }

@@ -18,9 +18,18 @@ import (
 // length-prefixed slices and strings; every length is validated against
 // the remaining bytes during decode, so a truncated or bit-flipped file
 // yields a typed CorruptError, never a panic or a silently wrong state.
+//
+// Version history:
+//
+//	1 — initial format. Runs predate the chunk-schedule fingerprint field
+//	    and were always taken under fixed vertex-count chunking, so decode
+//	    fills Schedule with "fixed".
+//	2 — Fingerprint gains Schedule (the sweep chunk schedule name), encoded
+//	    after the Sparse flag.
 const (
-	magic   = "GXMTCKP1"
-	version = 1
+	magic      = "GXMTCKP1"
+	version    = 2
+	minVersion = 1
 
 	// Ext is the checkpoint file extension.
 	Ext = ".gxckpt"
@@ -46,7 +55,7 @@ type VersionError struct {
 }
 
 func (e *VersionError) Error() string {
-	return fmt.Sprintf("ckpt: checkpoint %s has unsupported format version %d (supported: %d)", e.Path, e.Version, version)
+	return fmt.Sprintf("ckpt: checkpoint %s has unsupported format version %d (supported: %d-%d)", e.Path, e.Version, minVersion, version)
 }
 
 // MismatchError reports a fingerprint field that differs between a
@@ -230,6 +239,7 @@ func Encode(s *Snapshot) []byte {
 	e.str(s.FP.Label)
 	e.boolean(s.FP.Combiner)
 	e.boolean(s.FP.Sparse)
+	e.str(s.FP.Schedule)
 	e.i64(s.FP.MaxSupersteps)
 	e.i64(s.FP.MaxMessages)
 	e.u32(s.FP.CostsCRC)
@@ -273,8 +283,15 @@ func Encode(s *Snapshot) []byte {
 	return e.buf
 }
 
-// Decode parses a snapshot payload. path is used only in error messages.
+// Decode parses a current-version snapshot payload. path is used only in
+// error messages.
 func Decode(payload []byte, path string) (*Snapshot, error) {
+	return decodeVersion(payload, path, version)
+}
+
+// decodeVersion parses a snapshot payload written by the given format
+// version (Load dispatches on the header).
+func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	d := &decoder{data: payload, path: path}
 	s := &Snapshot{}
 	s.FP.GraphCRC = d.u32()
@@ -284,6 +301,13 @@ func Decode(payload []byte, path string) (*Snapshot, error) {
 	s.FP.Label = d.str()
 	s.FP.Combiner = d.boolean()
 	s.FP.Sparse = d.boolean()
+	if ver >= 2 {
+		s.FP.Schedule = d.str()
+	} else {
+		// Version-1 checkpoints predate selectable chunk schedules and were
+		// always taken under the fixed schedule.
+		s.FP.Schedule = "fixed"
+	}
 	s.FP.MaxSupersteps = d.i64()
 	s.FP.MaxMessages = d.i64()
 	s.FP.CostsCRC = d.u32()
@@ -439,7 +463,8 @@ func Load(path string) (*Snapshot, error) {
 	if string(data[:8]) != magic {
 		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("bad magic %q", data[:8])}
 	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != version {
+	v := binary.LittleEndian.Uint32(data[8:12])
+	if v < minVersion || v > version {
 		return nil, &VersionError{Path: path, Version: v}
 	}
 	want := binary.LittleEndian.Uint32(data[12:16])
@@ -447,7 +472,7 @@ func Load(path string) (*Snapshot, error) {
 	if got := crc32.Checksum(payload, castagnoli); got != want {
 		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("checksum mismatch: header %08x, payload %08x", want, got)}
 	}
-	return Decode(payload, path)
+	return decodeVersion(payload, path, v)
 }
 
 // LatestPath returns the highest-step periodic checkpoint in dir, or ""

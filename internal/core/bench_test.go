@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"graphxmt/internal/bspalg"
 	"graphxmt/internal/core"
 	"graphxmt/internal/gen"
 	"graphxmt/internal/graph"
@@ -111,6 +112,79 @@ func BenchmarkEngineWorkers(b *testing.B) {
 
 func benchName(w int) string {
 	return fmt.Sprintf("w=%d", w)
+}
+
+// Degree-skew benchmarks: the A/B pair for the chunk-schedule comparison.
+// Each benchmark runs as sched=degree / sched=fixed sub-benchmarks over the
+// same graph, so `go test -bench EngineSkew` (or cmd/benchgate on its JSON
+// output) reads the degree-weighted schedule's effect directly. The star is
+// the worst case fixed chunking can face — one chunk owns nearly every edge —
+// and its hub inbox exercises the combining path's segment prefold; the RMAT
+// graph is the paper's skewed-degree workload.
+var (
+	skewBenchOnce sync.Once
+	skewBenchRMAT *graph.Graph
+	skewBenchStar *graph.Graph
+)
+
+func skewGraphs(b *testing.B) (star, rmat *graph.Graph) {
+	b.Helper()
+	skewBenchOnce.Do(func() {
+		skewBenchStar = gen.Star(1 << 18)
+		g, err := gen.RMAT(gen.RMATConfig{Scale: 16, EdgeFactor: 16, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		skewBenchRMAT = g
+	})
+	return skewBenchStar, skewBenchRMAT
+}
+
+func benchSchedules(b *testing.B, run func(b *testing.B, sched core.ChunkSchedule)) {
+	for _, s := range []core.ChunkSchedule{core.ChunkDegree, core.ChunkFixed} {
+		b.Run("sched="+s.String(), func(b *testing.B) { run(b, s) })
+	}
+}
+
+func BenchmarkEngineSkewStarFlood(b *testing.B) {
+	star, _ := skewGraphs(b)
+	benchSchedules(b, func(b *testing.B, s core.ChunkSchedule) {
+		benchRun(b, core.Config{Graph: star, Program: benchFloodMin{}, Combiner: core.Min, Chunking: s})
+	})
+}
+
+func BenchmarkEngineSkewRMATDenseFlood(b *testing.B) {
+	_, rmat := skewGraphs(b)
+	benchSchedules(b, func(b *testing.B, s core.ChunkSchedule) {
+		benchRun(b, core.Config{Graph: rmat, Program: benchFloodMin{}, Combiner: core.Min, Chunking: s})
+	})
+}
+
+func BenchmarkEngineSkewRMATSparseFlood(b *testing.B) {
+	_, rmat := skewGraphs(b)
+	benchSchedules(b, func(b *testing.B, s core.ChunkSchedule) {
+		benchRun(b, core.Config{Graph: rmat, Program: benchFloodMin{},
+			SparseActivation: true, Combiner: core.Min, Chunking: s})
+	})
+}
+
+// BenchmarkEngineSkewTC runs the message-heaviest algorithm (triangle
+// counting floods adjacency lists as candidate messages, so hubs dominate
+// both send and delivery work) on a smaller RMAT instance that keeps the
+// candidate-message volume benchable.
+func BenchmarkEngineSkewTC(b *testing.B) {
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 12, EdgeFactor: 8, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSchedules(b, func(b *testing.B, s core.ChunkSchedule) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bspalg.Triangles(g, nil, core.WithChunking(s)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchRelay passes a hop-counted token around a ring — the sparse

@@ -136,6 +136,7 @@ func runFingerprint(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, co
 		Label:         label,
 		Combiner:      cfg.Combiner != nil,
 		Sparse:        cfg.SparseActivation,
+		Schedule:      cfg.Chunking.String(),
 		MaxSupersteps: int64(maxSteps),
 		MaxMessages:   maxMsgs,
 		CostsCRC:      costsCRC(costs),

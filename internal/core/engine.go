@@ -24,10 +24,12 @@
 // # Host parallelism
 //
 // Run executes supersteps on all host cores via package par — the compute
-// sweep over fixed-boundary vertex chunks with private per-chunk contexts
-// merged in chunk index order, delivery as a stable parallel counting
-// sort, and the sparse-activation worklist as a stamp-ordered dense sweep
-// (see parallel.go). The package invariant is that the host worker count
+// sweep over worker-independent chunks (degree-weighted by default, so a
+// skewed graph's hub vertices don't unbalance the sweep; see ChunkSchedule
+// in parallel.go) with private per-chunk contexts merged in chunk index
+// order, delivery as a stable parallel counting sort, and the
+// sparse-activation worklist as a stamp-ordered dense sweep (see
+// parallel.go). The package invariant is that the host worker count
 // affects only wall-clock time: Result and the recorded trace profile are
 // bit-identical whether par runs on 1 or N cores (asserted by the
 // determinism tests). For that to hold, Program implementations must
@@ -112,6 +114,12 @@ type Config struct {
 	// magnitude larger" in BSP — with sparse activation that overhead
 	// disappears (see experiments.AblationActivation).
 	SparseActivation bool
+	// Chunking selects how the compute sweep is partitioned into chunks.
+	// The zero value (ChunkAuto) selects the degree-weighted schedule.
+	// Either schedule is deterministic across worker counts; the choice is
+	// recorded in checkpoint fingerprints, so a resumed run must use the
+	// schedule it started with.
+	Chunking ChunkSchedule
 	// Checkpoint, when non-nil, enables superstep-boundary checkpointing
 	// under the given policy (package ckpt; see checkpoint.go and
 	// docs/ROBUSTNESS.md). nil costs one pointer check per superstep.
@@ -328,18 +336,19 @@ func Run(cfg Config) (*Result, error) {
 
 		ph := cfg.Recorder.StartPhase("bsp/superstep", step)
 
-		// Compute sweep: fixed-boundary chunks, each with a private
-		// context, merged in chunk index order below. Chunk boundaries
-		// depend only on the sweep length, so results and profiles are
-		// identical at any host worker count.
+		// Compute sweep: worker-independent chunks, each with a private
+		// context, merged in chunk index order below. Chunk boundaries are
+		// a pure function of the schedule, graph, and active set (see
+		// sweepBoundaries) — never of the worker count — so results and
+		// profiles are identical at any host configuration.
 		count := int(n)
 		if cfg.SparseActivation {
 			count = len(candidates)
 		}
-		chunkSize := sweepChunkSize(count)
-		numChunks := 0
-		if count > 0 {
-			numChunks = (count + chunkSize - 1) / chunkSize
+		bounds := scratch.sweepBoundaries(g.Offsets(), candidates, cfg.SparseActivation, cfg.Chunking, count)
+		numChunks := len(bounds) - 1
+		if numChunks < 0 {
+			numChunks = 0
 		}
 		scratch.ensureChunks(numChunks, master)
 		sparse := cfg.SparseActivation
@@ -363,11 +372,7 @@ func Run(cfg Config) (*Result, error) {
 			// to the parallel path's.
 			buf := sendBuf[:0]
 			for c := 0; c < numChunks; c++ {
-				lo := c * chunkSize
-				hi := lo + chunkSize
-				if hi > count {
-					hi = count
-				}
+				lo, hi := bounds[c], bounds[c+1]
 				cs := scratch.chunks[c]
 				cs.reset(step, master.prevAggregates)
 				cs.eng.sendBuf = buf
@@ -388,9 +393,14 @@ func Run(cfg Config) (*Result, error) {
 				o.timer.Add(0, time.Since(tObs))
 			}
 		} else {
-			par.ForFixedChunks(count, chunkSize, func(c, lo, hi int) {
+			par.ForBoundaryChunks(bounds, func(c, lo, hi int) {
 				cs := scratch.chunks[c]
 				cs.reset(step, master.prevAggregates)
+				// Pre-size the chunk's private send buffer from its degree
+				// sum (exact for one-message-per-edge programs), avoiding
+				// append-doubling in the hot sweep. The serial path threads
+				// one shared buffer instead, so it needs no hint.
+				cs.presize(scratch.chunkSendHint(lo, hi))
 				cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
 			})
 			sendBuf = scratch.concatSends(sendBuf, numChunks)

@@ -93,8 +93,10 @@ func startObs(cfg *Config, g *graph.Graph) *obsRun {
 }
 
 // phase emits the span [t0, now) under name, carrying the per-worker busy
-// time folded since the previous phase boundary.
+// time and chunk-granularity stats folded since the previous phase
+// boundary. DrainChunks must run before Drain — Drain resets both.
 func (o *obsRun) phase(name string, step int, t0 time.Time) {
+	chunks, maxChunk := o.timer.DrainChunks()
 	busy := o.timer.Drain(make([]time.Duration, o.workers))
 	o.sink.Span(obs.Span{
 		Name:       name,
@@ -102,6 +104,8 @@ func (o *obsRun) phase(name string, step int, t0 time.Time) {
 		Start:      t0.Sub(o.start),
 		Dur:        time.Since(t0),
 		WorkerBusy: busy,
+		Chunks:     chunks,
+		MaxChunk:   maxChunk,
 	})
 }
 
@@ -148,6 +152,8 @@ func (s *runScratch) scratchBytes(sendBuf []Message, inboxOff, inboxVal, candida
 	b += int64(cap(s.has))
 	b += int64(cap(s.counts)) * 4
 	b += int64(cap(s.groupOff)+cap(s.groupVal)+cap(s.rangeCnt)+cap(s.sortScratch)) * 8
+	b += int64(cap(s.rangeMax)+cap(s.hubDest)+cap(s.hubVal)+cap(s.hubPart)+cap(s.candWork)) * 8
+	b += int64(cap(s.foldBnds)+cap(s.bounds)+cap(s.denseBounds)) * 8
 	b += int64(cap(s.msgStamp)+cap(s.msgLo)+cap(s.msgHi)+cap(s.recvList)) * 8
 	for _, cs := range s.chunks {
 		b += int64(cap(cs.eng.sendBuf))*msgSize + int64(cap(cs.wake))*8

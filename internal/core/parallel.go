@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"runtime/debug"
+	"sort"
 
 	"graphxmt/internal/par"
 )
@@ -14,8 +15,13 @@ import (
 // recorded work profiles are bit-identical whether par runs on 1 or N
 // cores. The machinery here achieves that with deterministic chunking:
 //
-//   - The compute sweep is partitioned into fixed-size chunks whose
-//     boundaries depend only on the sweep length (par.ForFixedChunks).
+//   - The compute sweep is partitioned into chunks whose boundaries are a
+//     pure function of the graph and the active set — never of the worker
+//     count. The default (degree-weighted) schedule splits the CSR degree
+//     prefix sum (graph.Offsets, or the candidate-degree prefix sum under
+//     sparse activation) into near-equal edge-work chunks, so a hub vertex
+//     of a skewed graph cannot make one chunk run targetChunks× longer
+//     than its peers; the legacy fixed schedule splits by vertex count.
 //     Each chunk runs vertices with a private VertexContext — private send
 //     buffer, work-charge accumulators, aggregator partials, wake list and
 //     halt-transition counter — and the partials are merged in chunk index
@@ -24,22 +30,77 @@ import (
 //
 //   - Delivery is a stable counting sort: the output grouping (messages
 //     per destination, in send order) is unique, so the internal
-//     partitioning of the sort is free to follow the worker count.
+//     partitioning of the sort is free to follow the worker count. Its
+//     fan-in is derived from par.Workers() under a scratch-memory budget
+//     (deliverChunks) rather than a fixed cap.
 //
 //   - The combining path groups messages per destination first (the same
 //     stable sort) and then left-folds each destination's messages in send
-//     order, reproducing the sequential combine order for ANY combiner —
-//     associativity is not required for determinism across worker counts.
+//     order over destination ranges weighted by message count. Groups
+//     smaller than hubFoldMin reproduce the sequential combine order for
+//     ANY combiner — associativity is not required for determinism across
+//     worker counts. A hub group of at least hubFoldMin messages is folded
+//     over fixed-size segments whose partials combine in segment order — a
+//     tree that is still a pure function of the group length, hence
+//     worker-independent, but relies on the associativity Config.Combiner
+//     documents to equal the flat left fold.
 //
 //   - Aggregators fold per chunk and the chunk partials fold in chunk
 //     index order. Chunk boundaries are worker-independent, so the fold
 //     tree — and therefore the result, even for non-associative
-//     reductions — is too.
+//     reductions — is too. (Because the fold tree follows chunk
+//     boundaries, the chunk schedule is part of a checkpoint's fingerprint:
+//     a run may only resume under the schedule it started with.)
+
+// ChunkSchedule selects how Run partitions the compute sweep into chunks.
+// Both schedules are deterministic — boundaries are a pure function of the
+// graph and the active set — so either yields bit-identical results and
+// profiles at any worker count; they may differ from each other only for
+// non-associative aggregator reductions (the fold tree follows chunk
+// boundaries), which is why the schedule is part of checkpoint
+// fingerprints.
+type ChunkSchedule int
+
+const (
+	// ChunkAuto selects the engine default, ChunkDegree.
+	ChunkAuto ChunkSchedule = iota
+	// ChunkDegree splits the degree prefix sum (the CSR offsets, or the
+	// candidate-degree prefix under sparse activation) into near-equal
+	// edge-work chunks — the schedule for skewed (RMAT, power-law) graphs,
+	// where per-vertex work is dominated by adjacency size.
+	ChunkDegree
+	// ChunkFixed splits the sweep into fixed vertex-count chunks — the
+	// legacy schedule, kept for A/B benchmarking and old checkpoints.
+	ChunkFixed
+)
+
+// resolve maps ChunkAuto to the engine default.
+func (s ChunkSchedule) resolve() ChunkSchedule {
+	if s == ChunkAuto {
+		return ChunkDegree
+	}
+	return s
+}
+
+// String returns the schedule's fingerprint name ("degree" or "fixed").
+func (s ChunkSchedule) String() string {
+	if s.resolve() == ChunkFixed {
+		return "fixed"
+	}
+	return "degree"
+}
+
+// WithChunking selects the sweep chunk schedule (see Config.Chunking).
+func WithChunking(s ChunkSchedule) Option {
+	return func(c *Config) { c.Chunking = s }
+}
 
 // sweepChunkSize returns the fixed chunk size used to partition a sweep of
 // count items. It depends only on count — never on the worker count — so
 // chunk boundaries, and every merge keyed on chunk index, are identical
-// across host configurations.
+// across host configurations. It drives the ChunkFixed schedule and the
+// delivery/worklist compaction sweeps, whose outputs do not depend on the
+// partitioning at all.
 func sweepChunkSize(count int) int {
 	const (
 		minChunk     = 64
@@ -52,15 +113,43 @@ func sweepChunkSize(count int) int {
 	return cs
 }
 
+// sweepTargetChunks is the chunk-count target of the weighted schedules:
+// the same 256-chunk / 64-vertex-minimum shape as sweepChunkSize, expressed
+// as a count. Depends only on count.
+func sweepTargetChunks(count int) int {
+	const (
+		minChunk     = 64
+		targetChunks = 256
+	)
+	c := (count + minChunk - 1) / minChunk
+	if c > targetChunks {
+		c = targetChunks
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// sweepVertexWork is the constant per-vertex weight the degree-weighted
+// schedule adds to each vertex's degree: it accounts for the fixed
+// per-vertex dispatch cost, so zero-degree stretches still split instead
+// of collapsing into one chunk.
+const sweepVertexWork = 4
+
 // deliverParallelMin is the send-buffer size below which the sequential
 // delivery paths win on the host. Both paths produce identical output, so
 // the threshold is a pure host-speed knob.
 const deliverParallelMin = 1 << 14
 
-// maxDeliverChunks bounds the counting-sort fan-in C: the sort keeps C
-// per-chunk destination counters (C*n int32 of scratch), so C is capped
-// both absolutely and by a scratch-memory budget for very large graphs.
-const maxDeliverChunks = 16
+// hubFoldMin is the combining-path hub threshold: a destination group of
+// at least this many messages is folded over hubFoldSeg-sized segments in
+// parallel (see parCombineDeliver). Below it, the exact sequential
+// left-fold order is preserved for any combiner.
+const (
+	hubFoldMin = 1 << 13
+	hubFoldSeg = 1 << 11
+)
 
 // chunkState is the private state of one sweep chunk: everything a worker
 // mutates while running its chunk's vertices, merged deterministically (in
@@ -201,10 +290,27 @@ type runScratch struct {
 	acc  []int64
 
 	// Parallel delivery scratch.
-	counts   []int32 // C*n destination counters, dest-major
-	groupOff []int64 // n+1 group boundaries (combining path)
-	groupVal []int64 // grouped message values (combining path)
-	rangeCnt []int64 // per-range counters for compaction sweeps
+	counts    []int32 // C*n destination counters, dest-major
+	groupOff  []int64 // n+1 group boundaries (combining path)
+	groupVal  []int64 // grouped message values (combining path)
+	rangeCnt  []int64 // per-range counters for compaction sweeps
+	rangeMax  []int64 // per-range max group size (hub detection)
+	foldBnds  []int   // message-weighted fold range boundaries
+	hubDest   []int64 // destinations with >= hubFoldMin messages, ascending
+	hubVal    []int64 // prefolded hub values, parallel to hubDest
+	hubPart   []int64 // per-segment partials of one hub prefold
+
+	// Sweep chunk boundaries (see sweepBoundaries). denseBounds caches the
+	// dense degree-weighted boundaries, which depend only on the graph.
+	bounds      []int
+	denseBounds []int
+	candWork    []int64 // candidate-degree prefix sum, len count+1
+	// sweepWork is the active sweep's work prefix (nil under ChunkFixed):
+	// sweepWork(hi) - sweepWork(lo) - sweepVertexWork*(hi-lo) is the degree
+	// sum of chunk [lo, hi) — the presize hint for its send buffer.
+	sweepWork   func(i int) int64
+	densePrefix func(i int) int64 // memoized closure over the graph offsets
+	candPrefix  func(i int) int64 // memoized closure over candWork
 
 	// Sparse-activation scratch.
 	sortScratch []int64 // radix-sort ping buffer
@@ -241,6 +347,97 @@ func (s *runScratch) ensureChunks(numChunks int, master *engineState) {
 		cs.eng.states = master.states
 		cs.ctx.engine = &cs.eng
 		s.chunks = append(s.chunks, cs)
+	}
+}
+
+// sweepBoundaries computes the compute sweep's chunk boundaries for one
+// superstep: a strictly increasing []int starting at 0 and ending at count,
+// a pure function of (schedule, graph offsets, active set) — never of the
+// worker count. Under ChunkDegree it splits the work prefix sum (degree +
+// sweepVertexWork per item) into sweepTargetChunks near-equal chunks: the
+// dense prefix is the CSR offsets themselves (computed once per run and
+// cached, since the dense sweep is always over all n vertices); the sparse
+// prefix is built per superstep over the candidate degrees. Under
+// ChunkFixed it replicates the legacy sweepChunkSize partition. It also
+// sets s.sweepWork so callers can presize per-chunk send buffers.
+func (s *runScratch) sweepBoundaries(off []int64, candidates []int64, sparse bool, sched ChunkSchedule, count int) []int {
+	if count <= 0 {
+		s.sweepWork = nil
+		s.bounds = append(s.bounds[:0], 0)
+		return s.bounds
+	}
+	if sched.resolve() == ChunkFixed {
+		s.sweepWork = nil
+		cs := sweepChunkSize(count)
+		b := s.bounds[:0]
+		for lo := 0; lo < count; lo += cs {
+			b = append(b, lo)
+		}
+		b = append(b, count)
+		s.bounds = b
+		return b
+	}
+	if sparse && sweepTargetChunks(count) == 1 {
+		// One chunk no matter how the weights fall — skip the per-superstep
+		// candidate prefix sum, which relay-style programs (tiny active set,
+		// many supersteps) would otherwise pay on every superstep.
+		s.sweepWork = nil
+		s.bounds = append(s.bounds[:0], 0, count)
+		return s.bounds
+	}
+	if !sparse {
+		if s.densePrefix == nil {
+			s.densePrefix = func(i int) int64 {
+				return off[i] + sweepVertexWork*int64(i)
+			}
+		}
+		s.sweepWork = s.densePrefix
+		if len(s.denseBounds) == 0 {
+			s.denseBounds = par.WeightedBoundaries(s.denseBounds, count,
+				sweepTargetChunks(count), s.densePrefix)
+		}
+		return s.denseBounds
+	}
+	// Sparse: candWork[i] = summed work of candidates [0, i), with the total
+	// at candWork[count] (exclusive prefix over per-candidate weights plus a
+	// trailing zero).
+	s.candWork = ensureInt64(s.candWork, count+1)
+	cw := s.candWork
+	par.ForChunked(count, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := candidates[i]
+			cw[i] = (off[v+1] - off[v]) + sweepVertexWork
+		}
+	})
+	cw[count] = 0
+	par.ParallelExclusivePrefixSum(cw)
+	if s.candPrefix == nil {
+		s.candPrefix = func(i int) int64 { return s.candWork[i] }
+	}
+	s.sweepWork = s.candPrefix
+	s.bounds = par.WeightedBoundaries(s.bounds, count,
+		sweepTargetChunks(count), s.candPrefix)
+	return s.bounds
+}
+
+// chunkSendHint returns the presize hint for chunk [lo, hi)'s send buffer:
+// its degree sum under the active weighted schedule, or 0 (no hint) under
+// ChunkFixed. An exact bound for flood-style programs that send one
+// message per edge; a floor for chattier ones.
+func (s *runScratch) chunkSendHint(lo, hi int) int {
+	if s.sweepWork == nil {
+		return 0
+	}
+	return int(s.sweepWork(hi) - s.sweepWork(lo) - sweepVertexWork*int64(hi-lo))
+}
+
+// presize grows the chunk's send buffer capacity to hint entries before
+// the chunk runs, so a chunk that sends ~degree-sum messages does one
+// allocation instead of log₂(hint) append-doublings. Reset has already
+// emptied the buffer, so discarding the old array is safe.
+func (cs *chunkState) presize(hint int) {
+	if hint > cap(cs.eng.sendBuf) {
+		cs.eng.sendBuf = make([]Message, 0, hint)
 	}
 }
 
@@ -551,19 +748,21 @@ func (s *runScratch) seqCombineDeliver(sendBuf []Message, n int64, combine func(
 	return delivered
 }
 
+// deliverChunkBudget is the counting-sort scratch budget: the fan-in C
+// keeps C*n int32 destination counters, and C is chosen so that array
+// stays within this many entries (64 MiB) however wide the host is.
+const deliverChunkBudget = 1 << 24
+
 // deliverChunks picks the counting-sort fan-in: enough chunks to feed the
-// workers, capped absolutely and by a scratch budget of C*n counter words.
+// workers (2 per worker so the tail balances), bounded only by the
+// scratch-memory budget rather than a fixed cap — a 48-core host gets
+// 96-way fan-in on any graph up to ~175k vertices and degrades
+// proportionally beyond. The sort's output is the unique stable grouping
+// whatever C is, so tracking the worker count here cannot perturb results.
 func deliverChunks(n int64) int {
 	C := par.Workers() * 2
-	if C < 2 {
-		C = 2
-	}
-	if C > maxDeliverChunks {
-		C = maxDeliverChunks
-	}
-	const entryBudget = 1 << 24 // 64 MiB of int32 counters
 	if n > 0 {
-		if byBudget := int(entryBudget / n); byBudget < C {
+		if byBudget := int(deliverChunkBudget / n); byBudget < C {
 			C = byBudget
 		}
 	}
@@ -640,9 +839,22 @@ func (s *runScratch) stableGroupByDest(sendBuf []Message, n int64, off, val []in
 }
 
 // parCombineDeliver groups messages per destination with the stable sort,
-// then left-folds each destination's group in send order — the exact
-// combine order of the sequential path, for any combiner — and compacts
-// the folded values into the inbox in parallel over vertex ranges.
+// then folds each destination's group and compacts the folded values into
+// the inbox. Two skew defenses keep a hub inbox from serializing the
+// phase:
+//
+//   - The compaction sweep runs over destination ranges weighted by
+//     message count — gOff is itself a message prefix sum, so
+//     WeightedBoundaries splits it into near-equal fold-work ranges
+//     instead of equal vertex-count ranges.
+//
+//   - A group of at least hubFoldMin messages (a hub inbox) is prefolded
+//     in parallel over hubFoldSeg-sized segments, whose partials combine
+//     in segment index order. The segment tree is a pure function of the
+//     group length, so it is worker-independent; it equals the flat left
+//     fold by the associativity Config.Combiner documents. Groups below
+//     the threshold keep the exact sequential left-fold order, preserving
+//     determinism for ANY combiner on non-skewed traffic.
 func (s *runScratch) parCombineDeliver(sendBuf []Message, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
 	sent := len(sendBuf)
 	s.groupOff = ensureInt64(s.groupOff, int(n)+1)
@@ -650,32 +862,85 @@ func (s *runScratch) parCombineDeliver(sendBuf []Message, n int64, combine func(
 	s.stableGroupByDest(sendBuf, n, s.groupOff, s.groupVal)
 	gOff, gVal := s.groupOff, s.groupVal
 
-	rcs := sweepChunkSize(int(n))
-	numR := (int(n) + rcs - 1) / rcs
+	// Fold ranges weighted by messages-per-destination (+1 per vertex so
+	// message-free stretches still split).
+	s.foldBnds = par.WeightedBoundaries(s.foldBnds, int(n),
+		sweepTargetChunks(int(n)), func(i int) int64 {
+			return gOff[i] + int64(i)
+		})
+	numR := len(s.foldBnds) - 1
 	s.rangeCnt = ensureInt64(s.rangeCnt, numR)
-	rangeCnt := s.rangeCnt
-	par.ForFixedChunks(int(n), rcs, func(r, lo, hi int) {
-		var cnt int64
+	s.rangeMax = ensureInt64(s.rangeMax, numR)
+	rangeCnt, rangeMax := s.rangeCnt, s.rangeMax
+	par.ForBoundaryChunks(s.foldBnds, func(r, lo, hi int) {
+		var cnt, maxG int64
 		for v := lo; v < hi; v++ {
-			if gOff[v+1] > gOff[v] {
+			if g := gOff[v+1] - gOff[v]; g > 0 {
 				cnt++
+				if g > maxG {
+					maxG = g
+				}
 			}
 		}
 		rangeCnt[r] = cnt
+		rangeMax[r] = maxG
 	})
-	delivered := par.ExclusivePrefixSum(rangeCnt)
 
+	// Prefold hub groups. Detection cost is confined to ranges whose max
+	// group size crossed the threshold, so the common no-hub superstep pays
+	// nothing beyond the max tracking above.
+	s.hubDest = s.hubDest[:0]
+	for r := 0; r < numR; r++ {
+		if rangeMax[r] < hubFoldMin {
+			continue
+		}
+		for v := int64(s.foldBnds[r]); v < int64(s.foldBnds[r+1]); v++ {
+			if gOff[v+1]-gOff[v] >= hubFoldMin {
+				s.hubDest = append(s.hubDest, v)
+			}
+		}
+	}
+	hubs := s.hubDest
+	s.hubVal = ensureInt64(s.hubVal, len(hubs))
+	for i, h := range hubs {
+		seg := gVal[gOff[h]:gOff[h+1]]
+		numSeg := (len(seg) + hubFoldSeg - 1) / hubFoldSeg
+		s.hubPart = ensureInt64(s.hubPart, numSeg)
+		part := s.hubPart
+		par.ForFixedChunks(len(seg), hubFoldSeg, func(si, lo, hi int) {
+			acc := seg[lo]
+			for j := lo + 1; j < hi; j++ {
+				acc = combine(acc, seg[j])
+			}
+			part[si] = acc
+		})
+		acc := part[0]
+		for si := 1; si < numSeg; si++ {
+			acc = combine(acc, part[si])
+		}
+		s.hubVal[i] = acc
+	}
+
+	delivered := par.ExclusivePrefixSum(rangeCnt)
 	off := *inboxOff
 	val := ensureInt64(*inboxVal, int(delivered))
-	par.ForFixedChunks(int(n), rcs, func(r, lo, hi int) {
+	par.ForBoundaryChunks(s.foldBnds, func(r, lo, hi int) {
 		pos := rangeCnt[r]
 		for v := lo; v < hi; v++ {
 			off[v] = pos
 			glo, ghi := gOff[v], gOff[v+1]
 			if ghi > glo {
-				acc := gVal[glo]
-				for i := glo + 1; i < ghi; i++ {
-					acc = combine(acc, gVal[i])
+				var acc int64
+				if ghi-glo >= hubFoldMin {
+					hidx := sort.Search(len(hubs), func(j int) bool {
+						return hubs[j] >= int64(v)
+					})
+					acc = s.hubVal[hidx]
+				} else {
+					acc = gVal[glo]
+					for i := glo + 1; i < ghi; i++ {
+						acc = combine(acc, gVal[i])
+					}
 				}
 				val[pos] = acc
 				pos++

@@ -1,0 +1,209 @@
+package core_test
+
+// Degree-skew determinism: the worst imbalance a chunking schedule can
+// face is a star graph, whose hub has degree N-1 while every other vertex
+// has degree 1. Under fixed vertex-count chunking the hub's chunk carries
+// almost all the work; under degree-weighted chunking the hub is isolated
+// into its own narrow chunk. Either way the engine's invariant must hold:
+// Result and trace profile bit-identical at any worker count — and, for
+// the associative combiners and aggregators these programs use, across
+// the two schedules as well. The hub also funnels >= hubFoldMin messages
+// into one inbox, exercising the combining path's segment prefold.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graphxmt/internal/bspalg"
+	"graphxmt/internal/ckpt"
+	"graphxmt/internal/core"
+	"graphxmt/internal/faultinject"
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graph"
+)
+
+// skewN is the star size: large enough that the hub's inbox (N-1 combined
+// messages) crosses both the parallel-delivery threshold and the hub
+// prefold threshold, and that sweeps split into many chunks.
+const skewN = 1 << 14
+
+func skewCases(g *graph.Graph) []struct {
+	name string
+	mk   func() core.Config
+} {
+	return []struct {
+		name string
+		mk   func() core.Config
+	}{
+		{"bfs/dense", func() core.Config {
+			return core.Config{Program: bspalg.BFSProgram{Source: 1}}
+		}},
+		{"bfs/sparse", func() core.Config {
+			return core.Config{Program: bspalg.BFSProgram{Source: 1}, SparseActivation: true}
+		}},
+		{"cc/combiner", func() core.Config {
+			// Hub inbox: every leaf sends to vertex 0 each superstep, so the
+			// combining path sees one group of N-1 messages.
+			return core.Config{Program: bspalg.CCProgram{}, Combiner: core.Min}
+		}},
+		{"cc/sparse-combiner", func() core.Config {
+			return core.Config{Program: bspalg.CCProgram{}, Combiner: core.Min, SparseActivation: true}
+		}},
+		{"pagerank/combiner", func() core.Config {
+			return core.Config{
+				Program:  bspalg.PageRankProgram{DampingMilli: 850, Rounds: 10},
+				Combiner: core.Sum,
+			}
+		}},
+	}
+}
+
+// TestSkewDeterminismStar asserts bit-identical Result + profile at 1/3/8
+// workers under BOTH chunk schedules on the star graph, and that the two
+// schedules agree with each other (these programs' reductions are
+// associative, so the schedule cannot change answers).
+func TestSkewDeterminismStar(t *testing.T) {
+	g := gen.Star(skewN)
+	for _, tc := range skewCases(g) {
+		t.Run(tc.name, func(t *testing.T) {
+			var baseline *core.Result
+			for _, sched := range []core.ChunkSchedule{core.ChunkDegree, core.ChunkFixed} {
+				mk := func() core.Config {
+					cfg := tc.mk()
+					cfg.Chunking = sched
+					return cfg
+				}
+				baseRes, basePh := runDet(t, g, 1, mk)
+				for _, w := range []int{3, 8} {
+					res, ph := runDet(t, g, w, mk)
+					if !reflect.DeepEqual(baseRes, res) {
+						t.Fatalf("%v w=%d: Result differs from 1-worker run\n  supersteps %d vs %d\n  active %v vs %v",
+							sched, w, baseRes.Supersteps, res.Supersteps,
+							baseRes.ActivePerStep, res.ActivePerStep)
+					}
+					comparePhases(t, basePh, ph)
+				}
+				if baseline == nil {
+					baseline = baseRes
+				} else if !reflect.DeepEqual(baseline, baseRes) {
+					t.Fatalf("schedules disagree: degree vs fixed Results differ")
+				}
+			}
+		})
+	}
+}
+
+// TestSkewDeterminismPowerLaw runs the same matrix on a Barabási–Albert
+// power-law graph, so the guarantee does not hinge on the star's extreme
+// structure.
+func TestSkewDeterminismPowerLaw(t *testing.T) {
+	g, err := gen.BarabasiAlbert(1<<12, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range skewCases(g) {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, sched := range []core.ChunkSchedule{core.ChunkDegree, core.ChunkFixed} {
+				mk := func() core.Config {
+					cfg := tc.mk()
+					cfg.Chunking = sched
+					return cfg
+				}
+				baseRes, basePh := runDet(t, g, 1, mk)
+				res, ph := runDet(t, g, 8, mk)
+				if !reflect.DeepEqual(baseRes, res) {
+					t.Fatalf("%v: Result differs at w=8", sched)
+				}
+				comparePhases(t, basePh, ph)
+			}
+		})
+	}
+}
+
+// TestSkewRecoveryStar kills a CC run on the star at every superstep
+// boundary and resumes it under the degree-weighted schedule: resumed
+// Result and profile must match the uninterrupted run bit-for-bit, at
+// multiple worker counts (the resume-mid-run case on a skewed graph).
+func TestSkewRecoveryStar(t *testing.T) {
+	g := gen.Star(skewN)
+	mk := func() core.Config {
+		return core.Config{Program: bspalg.CCProgram{}, Combiner: core.Min, Chunking: core.ChunkDegree}
+	}
+	for _, w := range []int{1, 8} {
+		t.Run(fmt.Sprintf("w=%d", w), func(t *testing.T) {
+			base, basePh, err := runRec(g, w, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k <= base.Supersteps-2; k++ {
+				dir := t.TempDir()
+				plan := &faultinject.Plan{KillAt: map[int64]bool{int64(k): true}}
+				cfg := mk()
+				cfg.Checkpoint = &ckpt.Policy{Dir: dir, Hooks: plan.Hooks()}
+				_, _, err := runRec(g, w, cfg)
+				var ie *core.InterruptedError
+				if !errors.As(err, &ie) {
+					t.Fatalf("kill@%d: want InterruptedError, got %v", k, err)
+				}
+
+				cfg = mk()
+				cfg.Checkpoint = &ckpt.Policy{Dir: dir}
+				cfg.Resume = ie.CheckpointPath
+				res, ph, err := runRec(g, w, cfg)
+				if err != nil {
+					t.Fatalf("resume from kill@%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Fatalf("kill@%d: resumed Result differs from uninterrupted run", k)
+				}
+				comparePhases(t, basePh, ph)
+			}
+		})
+	}
+}
+
+// TestScheduleFingerprintMismatch: a checkpoint taken under one chunk
+// schedule must refuse to resume under the other — aggregator fold trees
+// follow chunk boundaries, so silently switching schedules could change
+// non-associative reductions.
+func TestScheduleFingerprintMismatch(t *testing.T) {
+	g := gen.Star(1 << 10)
+	dir := t.TempDir()
+	plan := &faultinject.Plan{KillAt: map[int64]bool{1: true}}
+	cfg := core.Config{
+		Program:    bspalg.CCProgram{},
+		Combiner:   core.Min,
+		Chunking:   core.ChunkDegree,
+		Checkpoint: &ckpt.Policy{Dir: dir, Hooks: plan.Hooks()},
+	}
+	_, _, err := runRec(g, 1, cfg)
+	var ie *core.InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InterruptedError, got %v", err)
+	}
+
+	resume := core.Config{
+		Program:  bspalg.CCProgram{},
+		Combiner: core.Min,
+		Chunking: core.ChunkFixed,
+		Resume:   ie.CheckpointPath,
+	}
+	_, _, err = runRec(g, 1, resume)
+	var me *ckpt.MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("want MismatchError, got %v", err)
+	}
+	if me.Field != "chunk schedule" || me.Got != "degree" || me.Want != "fixed" {
+		t.Fatalf("MismatchError = %+v, want chunk schedule degree vs fixed", me)
+	}
+
+	// The matching schedule (and the ChunkAuto alias for it) resumes fine.
+	for _, sched := range []core.ChunkSchedule{core.ChunkDegree, core.ChunkAuto} {
+		resume.Chunking = sched
+		if _, _, err := runRec(g, 1, resume); err != nil {
+			t.Fatalf("resume with %v: %v", sched, err)
+		}
+	}
+}

@@ -114,6 +114,7 @@ func Build(n int64, edges []Edge, opt BuildOptions) (*Graph, error) {
 	if !opt.SortAdjacency {
 		g.sorted = sortedByConstruction(entries)
 	}
+	g.computeMaxDegree()
 	return g, nil
 }
 
@@ -150,6 +151,7 @@ func FromCSR(n int64, offsets, adj []int64, weights []int64, directed bool) (*Gr
 			}
 		}
 	}
+	g.computeMaxDegree()
 	return g, nil
 }
 
@@ -187,6 +189,7 @@ func (g *Graph) Transpose() *Graph {
 		}
 	}
 	t.sortAdjacencyInPlace()
+	t.computeMaxDegree()
 	return t
 }
 

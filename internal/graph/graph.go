@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"graphxmt/internal/par"
 )
 
 // Edge is one endpoint pair of an edge list. For undirected graphs an edge
@@ -31,7 +33,8 @@ type Graph struct {
 	adj      []int64
 	weights  []int64 // nil for unweighted; else parallel to adj
 	directed bool
-	sorted   bool // every adjacency list is ascending
+	sorted   bool  // every adjacency list is ascending
+	maxDeg   int64 // memoized maximum out-degree (computed at build time)
 }
 
 // NumVertices returns the number of vertices.
@@ -97,20 +100,25 @@ func (g *Graph) HasEdge(u, v int64) bool {
 }
 
 // Offsets exposes the CSR row offsets (len NumVertices+1). Read-only.
+// Offsets is also the graph's degree prefix sum — Offsets()[v] is the total
+// out-degree of vertices [0, v) — which is what the BSP engine's
+// degree-weighted sweep chunking splits into near-equal edge-work chunks.
 func (g *Graph) Offsets() []int64 { return g.offsets }
 
 // Adjacency exposes the flat adjacency array. Read-only.
 func (g *Graph) Adjacency() []int64 { return g.adj }
 
-// MaxDegree returns the maximum out-degree, or 0 for an empty graph.
-func (g *Graph) MaxDegree() int64 {
-	var m int64
-	for v := int64(0); v < g.n; v++ {
-		if d := g.Degree(v); d > m {
-			m = d
-		}
-	}
-	return m
+// MaxDegree returns the maximum out-degree, or 0 for an empty graph. The
+// value is memoized at build time (Build, FromCSR, Transpose), so calls
+// are O(1).
+func (g *Graph) MaxDegree() int64 { return g.maxDeg }
+
+// computeMaxDegree scans the offsets once; called by every constructor
+// after the CSR arrays are final.
+func (g *Graph) computeMaxDegree() {
+	g.maxDeg = par.MaxInt64(int(g.n), 0, func(v int) int64 {
+		return g.offsets[v+1] - g.offsets[v]
+	})
 }
 
 // DegreeHistogram returns counts of vertices per degree value, as a map

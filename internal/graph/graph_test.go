@@ -298,6 +298,53 @@ func TestMaxDegreeAndHistogram(t *testing.T) {
 	}
 }
 
+func TestMaxDegreeMemoizedByEveryConstructor(t *testing.T) {
+	// MaxDegree is computed at build time; verify each constructor fills it
+	// by comparing against a fresh offsets scan.
+	scan := func(g *Graph) int64 {
+		var max int64
+		for v := int64(0); v < g.NumVertices(); v++ {
+			if d := g.Degree(v); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+
+	// Build, with a hub of degree n-1 (star).
+	n := int64(64)
+	edges := make([]Edge, 0, n-1)
+	for v := int64(1); v < n; v++ {
+		edges = append(edges, Edge{0, v})
+	}
+	star := MustBuild(n, edges, BuildOptions{SortAdjacency: true})
+	if got := star.MaxDegree(); got != n-1 || got != scan(star) {
+		t.Fatalf("star MaxDegree = %d, want %d", got, n-1)
+	}
+
+	// FromCSR.
+	csr, err := FromCSR(3, []int64{0, 2, 2, 2}, []int64{1, 2}, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := csr.MaxDegree(); got != 2 || got != scan(csr) {
+		t.Fatalf("FromCSR MaxDegree = %d, want 2", got)
+	}
+
+	// Transpose flips the star: max in-degree becomes 1.
+	dirStar := MustBuild(n, edges, BuildOptions{Directed: true, SortAdjacency: true})
+	tr := dirStar.Transpose()
+	if got := tr.MaxDegree(); got != 1 || got != scan(tr) {
+		t.Fatalf("transpose MaxDegree = %d, want 1", got)
+	}
+
+	// Empty graph.
+	empty := MustBuild(0, nil, BuildOptions{})
+	if empty.MaxDegree() != 0 {
+		t.Fatalf("empty MaxDegree = %d, want 0", empty.MaxDegree())
+	}
+}
+
 func TestStringForms(t *testing.T) {
 	g := triangleWithTail(t)
 	if g.String() == "" {

@@ -52,13 +52,15 @@ func (j *JSONL) Span(s Span) {
 		}
 	}
 	j.emit(struct {
-		Ev      string    `json:"ev"`
-		Name    string    `json:"name"`
-		Step    int       `json:"step"`
-		StartUs float64   `json:"start_us"`
-		DurUs   float64   `json:"dur_us"`
-		BusyUs  []float64 `json:"worker_busy_us,omitempty"`
-	}{"span", s.Name, s.Step, us(s.Start), us(s.Dur), busy})
+		Ev         string    `json:"ev"`
+		Name       string    `json:"name"`
+		Step       int       `json:"step"`
+		StartUs    float64   `json:"start_us"`
+		DurUs      float64   `json:"dur_us"`
+		BusyUs     []float64 `json:"worker_busy_us,omitempty"`
+		Chunks     int64     `json:"chunks,omitempty"`
+		MaxChunkUs float64   `json:"max_chunk_us,omitempty"`
+	}{"span", s.Name, s.Step, us(s.Start), us(s.Dur), busy, s.Chunks, us(s.MaxChunk)})
 }
 
 // Step implements Sink.

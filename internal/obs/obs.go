@@ -61,6 +61,14 @@ type Span struct {
 	// sequential path). Nil when no per-worker timing was collected; only
 	// valid during the Span call — sinks must copy to retain.
 	WorkerBusy []time.Duration
+	// Chunks is the number of timed chunks the span's parallel loops ran;
+	// zero when no chunk timing was collected.
+	Chunks int64
+	// MaxChunk is the longest single timed chunk within the span. The
+	// load-imbalance factor MaxChunk / (busy total / Chunks) — max over
+	// mean chunk time — is what degree-weighted sweep chunking drives
+	// toward 1 on skewed graphs.
+	MaxChunk time.Duration
 }
 
 // StepStats are one superstep's counters, emitted once per superstep after

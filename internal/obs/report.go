@@ -27,6 +27,12 @@ type reportRun struct {
 	phaseTotals map[string]time.Duration
 	busyTotals  []time.Duration
 
+	// Chunk-granularity imbalance stats per phase, folded from the spans'
+	// Chunks / MaxChunk / WorkerBusy fields.
+	phaseChunks map[string]int64
+	phaseBusy   map[string]time.Duration
+	phaseMaxCh  map[string]time.Duration
+
 	steps   []*stepRow
 	stepIdx map[int]int
 
@@ -41,6 +47,12 @@ type stepRow struct {
 	scratch                 int64
 	hasStats                bool
 	phases                  map[string]time.Duration
+
+	// Per-step chunk stats across the step's timed spans, for the imbal
+	// column (max single chunk over mean chunk busy time).
+	chunks   int64
+	busy     time.Duration
+	maxChunk time.Duration
 }
 
 // NewReport returns an empty report sink.
@@ -51,6 +63,9 @@ func (r *Report) RunStart(info RunInfo) {
 	r.cur = &reportRun{
 		info:        info,
 		phaseTotals: map[string]time.Duration{},
+		phaseChunks: map[string]int64{},
+		phaseBusy:   map[string]time.Duration{},
+		phaseMaxCh:  map[string]time.Duration{},
 		stepIdx:     map[int]int{},
 	}
 	r.runs = append(r.runs, r.cur)
@@ -79,11 +94,28 @@ func (r *Report) Span(s Span) {
 	for len(run.busyTotals) < len(s.WorkerBusy) {
 		run.busyTotals = append(run.busyTotals, 0)
 	}
+	var busy time.Duration
 	for w, b := range s.WorkerBusy {
 		run.busyTotals[w] += b
+		busy += b
+	}
+	if s.Chunks > 0 {
+		run.phaseChunks[s.Name] += s.Chunks
+		run.phaseBusy[s.Name] += busy
+		if s.MaxChunk > run.phaseMaxCh[s.Name] {
+			run.phaseMaxCh[s.Name] = s.MaxChunk
+		}
 	}
 	if s.Step >= 0 {
-		run.row(s.Step).phases[s.Name] += s.Dur
+		row := run.row(s.Step)
+		row.phases[s.Name] += s.Dur
+		if s.Chunks > 0 {
+			row.chunks += s.Chunks
+			row.busy += busy
+			if s.MaxChunk > row.maxChunk {
+				row.maxChunk = s.MaxChunk
+			}
+		}
 	}
 }
 
@@ -153,7 +185,7 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 
 	// Per-superstep table: counters first, then one column per phase in
 	// first-seen order.
-	fmt.Fprintf(w, "%6s %10s %10s %10s %9s", "step", "active", "sent", "delivered", "scratch")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %9s %6s", "step", "active", "sent", "delivered", "scratch", "imbal")
 	for _, name := range r.phaseOrder {
 		fmt.Fprintf(w, " %10s", tail(name, 10))
 	}
@@ -181,6 +213,15 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 		fmt.Fprintf(w, "  %s %s (%.0f%%)", name, fmtDur(d), share)
 	}
 	fmt.Fprintln(w)
+
+	// Load imbalance per phase: the run's longest single chunk over the
+	// mean chunk busy time. 1.0x means perfectly even chunks; a large
+	// factor on "compute" is the signature of a degree-skewed graph under
+	// fixed vertex-count chunking (the degree-weighted schedule drives it
+	// toward 1).
+	if imb := r.imbalanceLine(); imb != "" {
+		fmt.Fprintf(w, "chunk imbalance (max/mean):%s\n", imb)
+	}
 
 	// Worker utilization: busy folded from par's chunk timing, divided by
 	// run wall time. Low numbers on a multi-worker run mean the phases ran
@@ -214,6 +255,7 @@ func printRows(w io.Writer, rows []*stepRow, phaseOrder []string) {
 		} else {
 			fmt.Fprintf(w, "%6d %10s %10s %10s %9s", row.step, "-", "-", "-", "-")
 		}
+		fmt.Fprintf(w, " %6s", fmtImbalance(row.chunks, row.busy, row.maxChunk))
 		for _, name := range phaseOrder {
 			if d, ok := row.phases[name]; ok {
 				fmt.Fprintf(w, " %10s", fmtDur(d))
@@ -223,6 +265,34 @@ func printRows(w io.Writer, rows []*stepRow, phaseOrder []string) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// imbalanceLine renders the per-phase max/mean chunk factors in phase
+// order, or "" when no chunk timing was collected.
+func (r *reportRun) imbalanceLine() string {
+	out := ""
+	for _, name := range r.phaseOrder {
+		n := r.phaseChunks[name]
+		if n == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %s %s (%d chunks, max %s)",
+			name, fmtImbalance(n, r.phaseBusy[name], r.phaseMaxCh[name]), n, fmtDur(r.phaseMaxCh[name]))
+	}
+	return out
+}
+
+// fmtImbalance renders max-chunk over mean-chunk as "N.Nx", or "-" when no
+// chunks were timed or the mean rounds to zero.
+func fmtImbalance(chunks int64, busy, maxChunk time.Duration) string {
+	if chunks == 0 || busy <= 0 {
+		return "-"
+	}
+	mean := float64(busy) / float64(chunks)
+	if mean <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(maxChunk)/mean)
 }
 
 // tail truncates s to its last n runes (phase names share long prefixes).

@@ -1,0 +1,138 @@
+package par
+
+import (
+	"testing"
+)
+
+// checkBoundaries asserts the WeightedBoundaries contract: strictly
+// increasing, starting at 0, ending at n, at most maxChunks chunks.
+func checkBoundaries(t *testing.T, b []int, n, maxChunks int) {
+	t.Helper()
+	if n <= 0 {
+		if len(b) != 0 {
+			t.Fatalf("boundaries for n=%d: %v, want empty", n, b)
+		}
+		return
+	}
+	if len(b) < 2 || b[0] != 0 || b[len(b)-1] != n {
+		t.Fatalf("boundaries %v: want 0..%d endpoints", b, n)
+	}
+	if got := len(b) - 1; got > maxChunks {
+		t.Fatalf("%d chunks, max %d: %v", got, maxChunks, b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("boundaries not strictly increasing at %d: %v", i, b)
+		}
+	}
+}
+
+func TestWeightedBoundariesUniform(t *testing.T) {
+	const n, chunks = 1000, 10
+	// Unit weights: prefix(i) = i. Chunks should be exactly n/chunks wide.
+	b := WeightedBoundaries(nil, n, chunks, func(i int) int64 { return int64(i) })
+	checkBoundaries(t, b, n, chunks)
+	if len(b)-1 != chunks {
+		t.Fatalf("got %d chunks, want %d: %v", len(b)-1, chunks, b)
+	}
+	for i := 1; i < len(b); i++ {
+		if w := b[i] - b[i-1]; w != n/chunks {
+			t.Fatalf("chunk %d width %d, want %d", i-1, w, n/chunks)
+		}
+	}
+}
+
+func TestWeightedBoundariesSkewed(t *testing.T) {
+	// One hub at index 100 carrying half the total weight: the hub must be
+	// isolated into a narrow chunk, and every chunk's work must respect the
+	// classic bound total/maxChunks + maxWeight.
+	const n, chunks = 1000, 16
+	weights := make([]int64, n)
+	var total int64
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[100] = 1000
+	prefix := make([]int64, n+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	total = prefix[n]
+
+	b := WeightedBoundaries(nil, n, chunks, func(i int) int64 { return prefix[i] })
+	checkBoundaries(t, b, n, chunks)
+	bound := total/int64(chunks) + 1000
+	for i := 1; i < len(b); i++ {
+		if w := prefix[b[i]] - prefix[b[i-1]]; w > bound {
+			t.Fatalf("chunk [%d,%d) work %d exceeds bound %d", b[i-1], b[i], w, bound)
+		}
+	}
+}
+
+func TestWeightedBoundariesEdgeCases(t *testing.T) {
+	unit := func(i int) int64 { return int64(i) }
+	checkBoundaries(t, WeightedBoundaries(nil, 0, 8, unit), 0, 8)
+	// Zero total work: single chunk covering everything.
+	b := WeightedBoundaries(nil, 50, 8, func(i int) int64 { return 0 })
+	checkBoundaries(t, b, 50, 8)
+	if len(b) != 2 {
+		t.Fatalf("zero-work boundaries %v, want [0 50]", b)
+	}
+	// maxChunks 1 (and a nonsense 0, clamped to 1): single chunk.
+	for _, mc := range []int{1, 0} {
+		b = WeightedBoundaries(b, 50, mc, unit)
+		checkBoundaries(t, b, 50, 1)
+	}
+	// Fewer items than chunks: every chunk is a single item.
+	b = WeightedBoundaries(b, 3, 8, unit)
+	checkBoundaries(t, b, 3, 8)
+	if len(b)-1 != 3 {
+		t.Fatalf("3 items gave %d chunks: %v", len(b)-1, b)
+	}
+}
+
+func TestWeightedBoundariesReusesDst(t *testing.T) {
+	unit := func(i int) int64 { return int64(i) }
+	first := WeightedBoundaries(nil, 1<<12, 256, unit)
+	second := WeightedBoundaries(first, 1<<12, 256, unit)
+	if &first[0] != &second[0] {
+		t.Fatalf("dst was reallocated despite sufficient capacity")
+	}
+}
+
+func TestForBoundaryChunksCoversAllOnce(t *testing.T) {
+	const n = 10000
+	prefix := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i] + int64(i%17) + 1
+	}
+	b := WeightedBoundaries(nil, n, 64, func(i int) int64 { return prefix[i] })
+	checkBoundaries(t, b, n, 64)
+
+	visits := make([]int32, n)
+	chunkOf := make([]int32, n)
+	ForBoundaryChunks(b, func(c, lo, hi int) {
+		if lo != b[c] || hi != b[c+1] {
+			t.Errorf("chunk %d got [%d,%d), want [%d,%d)", c, lo, hi, b[c], b[c+1])
+		}
+		for i := lo; i < hi; i++ {
+			visits[i]++
+			chunkOf[i] = int32(c)
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if chunkOf[i] < chunkOf[i-1] {
+			t.Fatalf("chunk assignment not monotone at %d", i)
+		}
+	}
+}
+
+func TestForBoundaryChunksEmpty(t *testing.T) {
+	ForBoundaryChunks(nil, func(c, lo, hi int) { t.Fatal("body called") })
+	ForBoundaryChunks([]int{0}, func(c, lo, hi int) { t.Fatal("body called") })
+}

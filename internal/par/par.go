@@ -11,6 +11,7 @@ package par
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,18 +40,22 @@ func Workers() int { return maxProcs }
 const grainSize = 2048
 
 // WorkerTimer accumulates per-worker busy time: the wall-clock time each
-// host worker spent inside loop bodies, folded chunk by chunk. It exists
-// for the observability layer (package obs) — installing a timer changes
-// only what is measured, never what is computed, so the determinism
-// invariant is untouched. Slots are cache-line padded so concurrent
-// workers don't false-share.
+// host worker spent inside loop bodies, folded chunk by chunk. It also
+// tracks chunk-granularity statistics (chunk count and the single longest
+// chunk) so observers can report load imbalance — max over mean per-chunk
+// busy time — per phase. It exists for the observability layer (package
+// obs) — installing a timer changes only what is measured, never what is
+// computed, so the determinism invariant is untouched. Slots are
+// cache-line padded so concurrent workers don't false-share.
 type WorkerTimer struct {
 	slots []timerSlot
 }
 
 type timerSlot struct {
-	ns int64
-	_  [7]int64 // pad to a 64-byte line
+	ns     int64
+	chunks int64
+	maxNs  int64
+	_      [5]int64 // pad to a 64-byte line
 }
 
 // NewWorkerTimer returns a timer for the given worker count.
@@ -61,13 +66,21 @@ func NewWorkerTimer(workers int) *WorkerTimer {
 	return &WorkerTimer{slots: make([]timerSlot, workers)}
 }
 
-// Add folds d into worker w's busy time. Out-of-range workers are dropped
-// (the timer was sized for a different configuration).
+// Add folds d into worker w's busy time, counting one chunk. Out-of-range
+// workers are dropped (the timer was sized for a different configuration).
 func (t *WorkerTimer) Add(w int, d time.Duration) {
 	if w < 0 || w >= len(t.slots) {
 		return
 	}
-	atomic.AddInt64(&t.slots[w].ns, int64(d))
+	s := &t.slots[w]
+	atomic.AddInt64(&s.ns, int64(d))
+	atomic.AddInt64(&s.chunks, 1)
+	for {
+		cur := atomic.LoadInt64(&s.maxNs)
+		if int64(d) <= cur || atomic.CompareAndSwapInt64(&s.maxNs, cur, int64(d)) {
+			return
+		}
+	}
 }
 
 // Drain moves the accumulated busy times into busy (one entry per worker,
@@ -76,11 +89,27 @@ func (t *WorkerTimer) Add(w int, d time.Duration) {
 func (t *WorkerTimer) Drain(busy []time.Duration) []time.Duration {
 	for w := range t.slots {
 		ns := atomic.SwapInt64(&t.slots[w].ns, 0)
+		atomic.StoreInt64(&t.slots[w].chunks, 0)
+		atomic.StoreInt64(&t.slots[w].maxNs, 0)
 		if w < len(busy) {
 			busy[w] = time.Duration(ns)
 		}
 	}
 	return busy
+}
+
+// DrainChunks reads and resets the chunk-granularity statistics: the total
+// number of chunks timed since the last drain and the single longest chunk
+// across all workers. Callers that want both per-worker busy time and
+// chunk stats must call DrainChunks before Drain (Drain resets both).
+func (t *WorkerTimer) DrainChunks() (chunks int64, maxChunk time.Duration) {
+	for w := range t.slots {
+		chunks += atomic.SwapInt64(&t.slots[w].chunks, 0)
+		if ns := atomic.SwapInt64(&t.slots[w].maxNs, 0); time.Duration(ns) > maxChunk {
+			maxChunk = time.Duration(ns)
+		}
+	}
+	return chunks, maxChunk
 }
 
 // Workers returns the worker count the timer was sized for.
@@ -236,6 +265,64 @@ func ForFixedChunks(n, chunkSize int, body func(c, lo, hi int)) {
 		}
 		body(c, lo, hi)
 	})
+}
+
+// ForBoundaryChunks runs body(c, boundaries[c], boundaries[c+1]) for every
+// chunk c in [0, len(boundaries)-1), potentially in parallel. boundaries
+// must be non-decreasing. It is the weighted twin of ForFixedChunks: the
+// caller supplies explicit chunk boundaries (typically from
+// WeightedBoundaries over a work prefix sum), and the same determinism
+// contract applies — as long as the boundaries themselves are computed
+// from worker-independent quantities, per-chunk partials merged in chunk
+// index order are bit-identical at any worker count.
+func ForBoundaryChunks(boundaries []int, body func(c, lo, hi int)) {
+	numChunks := len(boundaries) - 1
+	if numChunks <= 0 {
+		return
+	}
+	ForCoarse(numChunks, func(c int) {
+		body(c, boundaries[c], boundaries[c+1])
+	})
+}
+
+// WeightedBoundaries splits [0, n) into at most maxChunks contiguous chunks
+// of near-equal weight and appends the chunk boundaries to dst (reusing its
+// capacity). prefix is the monotone non-decreasing work prefix: prefix(i)
+// is the total weight of items [0, i), so prefix(n) is the total weight —
+// the CSR degree prefix sum (graph.Offsets) is exactly this shape. The
+// returned boundaries start at 0, end at n, are strictly increasing (empty
+// chunks are elided, so a single item heavier than a whole chunk target
+// gets a chunk to itself), and depend only on n, maxChunks, and the prefix
+// values — never on the worker count.
+func WeightedBoundaries(dst []int, n, maxChunks int, prefix func(i int) int64) []int {
+	dst = dst[:0]
+	if n <= 0 {
+		return dst
+	}
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	dst = append(dst, 0)
+	total := prefix(n)
+	if total <= 0 || maxChunks == 1 {
+		return append(dst, n)
+	}
+	lo := 0
+	for c := 1; c < maxChunks; c++ {
+		// Chunk c-1 ends at the smallest i with prefix(i) >= c*total/maxChunks
+		// (integer-rounded target). Binary search over [lo, n].
+		target := total * int64(c) / int64(maxChunks)
+		b := lo + sort.Search(n-lo, func(k int) bool { return prefix(lo+k) >= target })
+		if b <= lo {
+			continue // target falls inside the previous item: elide the empty chunk
+		}
+		if b >= n {
+			break
+		}
+		dst = append(dst, b)
+		lo = b
+	}
+	return append(dst, n)
 }
 
 // ReduceInt64 computes the sum of body(i) over i in [0, n) in parallel.

@@ -128,3 +128,50 @@ func TestForCoarseTimed(t *testing.T) {
 		t.Fatalf("ForCoarse busy %v, want >= %v", sum, 64*10*time.Microsecond)
 	}
 }
+
+func TestDrainChunksTracksMax(t *testing.T) {
+	wt := NewWorkerTimer(Workers())
+	prev := SetTimer(wt)
+	defer SetTimer(prev)
+
+	// One slow iteration among fast ones: the max chunk must dominate the
+	// mean, whatever granularity the scheduler timed at.
+	ForCoarse(32, func(i int) {
+		if i == 7 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	chunks, maxChunk := wt.DrainChunks()
+	if chunks < 1 {
+		t.Fatalf("chunks = %d, want >= 1", chunks)
+	}
+	if maxChunk < 2*time.Millisecond {
+		t.Fatalf("maxChunk = %v, want >= 2ms", maxChunk)
+	}
+	busy := wt.Drain(make([]time.Duration, wt.Workers()))
+	var sum time.Duration
+	for _, b := range busy {
+		sum += b
+	}
+	if maxChunk > sum {
+		t.Fatalf("maxChunk %v exceeds total busy %v", maxChunk, sum)
+	}
+
+	// Both drains reset their stats.
+	if c, m := wt.DrainChunks(); c != 0 || m != 0 {
+		t.Fatalf("second DrainChunks = (%d, %v), want zeros", c, m)
+	}
+}
+
+func TestDrainResetsChunkStats(t *testing.T) {
+	wt := NewWorkerTimer(Workers())
+	prev := SetTimer(wt)
+	defer SetTimer(prev)
+
+	ForChunked(1<<16, func(lo, hi int) { time.Sleep(time.Microsecond) })
+	wt.Drain(make([]time.Duration, wt.Workers()))
+	// Drain resets chunk stats too (the documented DrainChunks-first rule).
+	if c, m := wt.DrainChunks(); c != 0 || m != 0 {
+		t.Fatalf("DrainChunks after Drain = (%d, %v), want zeros", c, m)
+	}
+}
