@@ -79,6 +79,11 @@ func gate(w io.Writer, oldPath, newPath string, thresholdPct float64, filter str
 // different core counts still pair up.
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// benchResult matches a bare metrics fragment ("3  158265083 ns/op ...").
+// go test -json splits each benchmark line across events: the name lands in
+// the event's Test field and the metrics arrive as their own Output fragment.
+var benchResult = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op`)
+
 // parseFile reads either plain bench text or a `go test -json` event stream
 // and returns ns/op samples keyed by benchmark name. Repeated runs of the
 // same benchmark (-count=N) accumulate as separate samples.
@@ -109,6 +114,7 @@ func parse(r io.Reader) (map[string][]float64, error) {
 			// one line fragment per event.
 			var ev struct {
 				Action string `json:"Action"`
+				Test   string `json:"Test"`
 				Output string `json:"Output"`
 			}
 			if err := json.Unmarshal([]byte(line), &ev); err != nil {
@@ -118,6 +124,17 @@ func parse(r io.Reader) (map[string][]float64, error) {
 				continue
 			}
 			line = strings.TrimSuffix(ev.Output, "\n")
+			if ev.Test != "" {
+				// Name-in-Test-field form: the Output fragment holds only the
+				// metrics. Sub-benchmark paths stay in the name, matching the
+				// text form after its -N suffix strip.
+				if m := benchResult.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+					if ns, err := strconv.ParseFloat(m[1], 64); err == nil {
+						res[ev.Test] = append(res[ev.Test], ns)
+					}
+					continue
+				}
+			}
 		}
 		addSample(res, strings.TrimSpace(line))
 	}

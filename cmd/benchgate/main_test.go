@@ -46,6 +46,29 @@ func TestParseTextAndJSON(t *testing.T) {
 	}
 }
 
+// test2json also emits benchmarks with the name in the event's Test field
+// and the metrics as a bare Output fragment (current `go test -json` form).
+const benchJSONSplit = `{"Action":"start","Package":"graphxmt/internal/core"}
+{"Action":"run","Package":"graphxmt/internal/core","Test":"BenchmarkEngineDenseFlood"}
+{"Action":"output","Package":"graphxmt/internal/core","Test":"BenchmarkEngineDenseFlood","Output":"BenchmarkEngineDenseFlood\n"}
+{"Action":"output","Package":"graphxmt/internal/core","Test":"BenchmarkEngineDenseFlood","Output":"       3\t 158265083 ns/op\t55966637 B/op\t     356 allocs/op\n"}
+{"Action":"output","Package":"graphxmt/internal/core","Test":"BenchmarkEngineSkewStarFlood/sched=degree","Output":"       3\t  22535905 ns/op\n"}
+{"Action":"pass","Package":"graphxmt/internal/core"}
+`
+
+func TestParseJSONSplitEvents(t *testing.T) {
+	res, err := parse(strings.NewReader(benchJSONSplit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkEngineDenseFlood"]; len(got) != 1 || got[0] != 158265083 {
+		t.Fatalf("DenseFlood samples = %v", got)
+	}
+	if got := res["BenchmarkEngineSkewStarFlood/sched=degree"]; len(got) != 1 || got[0] != 22535905 {
+		t.Fatalf("sub-benchmark samples = %v", got)
+	}
+}
+
 func TestParseSubBenchmarkNames(t *testing.T) {
 	res, err := parse(strings.NewReader(
 		"BenchmarkEngineSkewTC/sched=degree-8 \t 1\t 42 ns/op\n" +

@@ -141,6 +141,16 @@ type Snapshot struct {
 	// consumed by Step+1), parallel slices in send order.
 	MsgDest []int64
 	MsgVal  []int64
+	// BcastSrc/BcastVal/BcastSeq are the in-flight broadcast records
+	// (format v3): one entry per SendToNeighbors call the engine kept as a
+	// record instead of expanding per edge — source vertex, payload, and
+	// the record's position in the unicast stream (BcastSeq[i] unicasts
+	// precede record i; non-decreasing). Parallel slices in record order
+	// (ascending source). Empty for runs whose boundary traffic was
+	// expanded, and for v1/v2 checkpoints.
+	BcastSrc []int64
+	BcastVal []int64
+	BcastSeq []int64
 	// Per-step counters, each of length Step+1.
 	ActivePerStep    []int64
 	MessagesPerStep  []int64

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -55,6 +56,20 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 	for i := 0; i < m; i++ {
 		s.MsgDest[i] = int64(rng.Intn(int(n)))
 		s.MsgVal[i] = rng.Int63() - rng.Int63()
+	}
+	if k := rng.Intn(4); k > 0 {
+		// In-flight broadcast records: seqs must be non-decreasing and at
+		// most the unicast count.
+		seqs := make([]int64, k)
+		for i := range seqs {
+			seqs[i] = int64(rng.Intn(m + 1))
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for i := 0; i < k; i++ {
+			s.BcastSrc = append(s.BcastSrc, int64(rng.Intn(int(n))))
+			s.BcastVal = append(s.BcastVal, rng.Int63()-rng.Int63())
+			s.BcastSeq = append(s.BcastSeq, seqs[i])
+		}
 	}
 	for i := int64(0); i <= step; i++ {
 		s.ActivePerStep = append(s.ActivePerStep, int64(rng.Intn(1000)))
@@ -174,6 +189,54 @@ func TestCorruptionRejected(t *testing.T) {
 	}
 	if _, err := ckpt.Load(truncated); err == nil {
 		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestInvalidBroadcastRecordsRejected: broadcast-record damage that a
+// checksum cannot catch — a well-formed encode of semantically impossible
+// records — is rejected by the decoder's structural cross-checks with a
+// typed CorruptError.
+func TestInvalidBroadcastRecordsRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := randSnapshot(rng)
+	for len(base.BcastSrc) < 2 || len(base.MsgDest) == 0 {
+		base = randSnapshot(rng)
+	}
+	mutations := []struct {
+		name string
+		mut  func(s *ckpt.Snapshot)
+	}{
+		{"length mismatch", func(s *ckpt.Snapshot) {
+			s.BcastVal = s.BcastVal[:len(s.BcastVal)-1]
+		}},
+		{"out-of-range source", func(s *ckpt.Snapshot) {
+			s.BcastSrc[0] = s.FP.Vertices
+		}},
+		{"decreasing seq", func(s *ckpt.Snapshot) {
+			s.BcastSeq[0] = s.BcastSeq[len(s.BcastSeq)-1] + 1
+		}},
+		{"seq beyond unicast count", func(s *ckpt.Snapshot) {
+			s.BcastSeq[len(s.BcastSeq)-1] = int64(len(s.MsgDest)) + 1
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			s := *base
+			s.BcastSrc = append([]int64(nil), base.BcastSrc...)
+			s.BcastVal = append([]int64(nil), base.BcastVal...)
+			s.BcastSeq = append([]int64(nil), base.BcastSeq...)
+			m.mut(&s)
+			dir := t.TempDir()
+			path, err := ckpt.WriteFile(dir, &s, ckpt.FileName(s.Step), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ckpt.Load(path)
+			var ce *ckpt.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want CorruptError, got %v", err)
+			}
+		})
 	}
 }
 
@@ -325,11 +388,44 @@ func TestLatestPathAndPrune(t *testing.T) {
 	}
 }
 
+// spliceVersion reconstructs the exact byte layout of an older-format file
+// from a current-version encode of s: version 2 drops the broadcast-record
+// arrays (added in v3, after MsgVal); version 1 additionally drops the
+// Schedule string. The header version and checksum are rewritten to match.
+func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []byte {
+	t.Helper()
+	const header = 16
+	out := append([]byte{}, data...)
+
+	// Broadcast arrays sit after MsgVal: three length-prefixed int64 slices.
+	schedOff := header + 4 + 8 + 8 +
+		4 + len(s.FP.Program) +
+		4 + len(s.FP.Label) +
+		1 + 1
+	schedLen := 4 + len(s.FP.Schedule)
+	bcastOff := schedOff + schedLen +
+		8 + 8 + 4 + // MaxSupersteps, MaxMessages, CostsCRC
+		8 + 8 + // Step, Live
+		8 + 8*len(s.States) +
+		8 + len(s.Halted) +
+		8 + 8*len(s.MsgDest) +
+		8 + 8*len(s.MsgVal)
+	bcastLen := 3*8 + 8*(len(s.BcastSrc)+len(s.BcastVal)+len(s.BcastSeq))
+	out = append(out[:bcastOff], out[bcastOff+bcastLen:]...)
+
+	if ver < 2 {
+		out = append(out[:schedOff], out[schedOff+schedLen:]...)
+	}
+	binary.LittleEndian.PutUint32(out[8:12], ver)
+	binary.LittleEndian.PutUint32(out[12:16], crc32.Checksum(out[header:], crc32.MakeTable(crc32.Castagnoli)))
+	return out
+}
+
 // TestLoadVersion1DefaultsSchedule: a version-1 checkpoint (written before
 // chunk schedules existed) must load with Schedule "fixed" — the only
 // schedule version-1 runs could have used. The test splices the Schedule
-// string out of a version-2 file and rewrites the header, reconstructing
-// the exact v1 byte layout.
+// string and the v3 broadcast arrays out of a current-version file and
+// rewrites the header, reconstructing the exact v1 byte layout.
 func TestLoadVersion1DefaultsSchedule(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	s := randSnapshot(rng)
@@ -342,20 +438,7 @@ func TestLoadVersion1DefaultsSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	// Payload layout up to Schedule: GraphCRC u32, Vertices i64, Edges i64,
-	// Program str, Label str, Combiner u8, Sparse u8, then Schedule str.
-	const header = 16
-	schedOff := header + 4 + 8 + 8 +
-		4 + len(s.FP.Program) +
-		4 + len(s.FP.Label) +
-		1 + 1
-	schedLen := 4 + len(s.FP.Schedule)
-	v1 := append([]byte{}, data[:schedOff]...)
-	v1 = append(v1, data[schedOff+schedLen:]...)
-	binary.LittleEndian.PutUint32(v1[8:12], 1)
-	payload := v1[header:]
-	binary.LittleEndian.PutUint32(v1[12:16], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	v1 := spliceVersion(t, s, data, 1)
 
 	v1path := filepath.Join(dir, "v1"+ckpt.Ext)
 	if err := os.WriteFile(v1path, v1, 0o644); err != nil {
@@ -370,7 +453,41 @@ func TestLoadVersion1DefaultsSchedule(t *testing.T) {
 	}
 	want := *s
 	want.FP.Schedule = "fixed"
+	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v1 round trip mismatch beyond Schedule:\nwant %+v\ngot  %+v", &want, got)
+	}
+}
+
+// TestLoadVersion2NoBroadcasts: a version-2 checkpoint (written before
+// broadcast records existed) must load with empty record slices and
+// everything else intact — the traffic a v2 run checkpointed is fully
+// expanded in MsgDest/MsgVal, so resume re-delivers it unchanged.
+func TestLoadVersion2NoBroadcasts(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	s := randSnapshot(rng)
+	dir := t.TempDir()
+	path, err := ckpt.WriteFile(dir, s, ckpt.FileName(s.Step), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := spliceVersion(t, s, data, 2)
+
+	v2path := filepath.Join(dir, "v2"+ckpt.Ext)
+	if err := os.WriteFile(v2path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(v2path)
+	if err != nil {
+		t.Fatalf("loading version-2 checkpoint: %v", err)
+	}
+	want := *s
+	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("v2 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
 }

@@ -26,9 +26,14 @@ import (
 //	    fills Schedule with "fixed".
 //	2 — Fingerprint gains Schedule (the sweep chunk schedule name), encoded
 //	    after the Sparse flag.
+//	3 — Snapshot gains the in-flight broadcast records (BcastSrc/BcastVal/
+//	    BcastSeq), encoded after MsgVal. v1/v2 checkpoints predate broadcast
+//	    records — their boundary traffic is fully expanded in MsgDest/MsgVal
+//	    — so decode leaves the record slices empty and resume re-delivers
+//	    the expanded queue, which is bit-identical.
 const (
 	magic      = "GXMTCKP1"
-	version    = 2
+	version    = 3
 	minVersion = 1
 
 	// Ext is the checkpoint file extension.
@@ -250,6 +255,9 @@ func Encode(s *Snapshot) []byte {
 	e.bools(s.Halted)
 	e.int64s(s.MsgDest)
 	e.int64s(s.MsgVal)
+	e.int64s(s.BcastSrc)
+	e.int64s(s.BcastVal)
+	e.int64s(s.BcastSeq)
 	e.int64s(s.ActivePerStep)
 	e.int64s(s.MessagesPerStep)
 	e.int64s(s.DeliveredPerStep)
@@ -318,6 +326,11 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	s.Halted = d.bools()
 	s.MsgDest = d.int64s()
 	s.MsgVal = d.int64s()
+	if ver >= 3 {
+		s.BcastSrc = d.int64s()
+		s.BcastVal = d.int64s()
+		s.BcastSeq = d.int64s()
+	}
 	s.ActivePerStep = d.int64s()
 	s.MessagesPerStep = d.int64s()
 	s.DeliveredPerStep = d.int64s()
@@ -373,6 +386,20 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	for i, v := range s.MsgDest {
 		if v < 0 || v >= s.FP.Vertices {
 			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("message %d addressed to out-of-range vertex %d", i, v)}
+		}
+	}
+	if len(s.BcastSrc) != len(s.BcastVal) || len(s.BcastSrc) != len(s.BcastSeq) {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("broadcast record slices differ in length (%d sources, %d values, %d seqs)", len(s.BcastSrc), len(s.BcastVal), len(s.BcastSeq))}
+	}
+	var prevSeq int64
+	for i, v := range s.BcastSrc {
+		if v < 0 || v >= s.FP.Vertices {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("broadcast record %d from out-of-range vertex %d", i, v)}
+		}
+		if q := s.BcastSeq[i]; q < prevSeq || q > int64(len(s.MsgDest)) {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("broadcast record %d has invalid seq %d (previous %d, %d unicasts)", i, q, prevSeq, len(s.MsgDest))}
+		} else {
+			prevSeq = q
 		}
 	}
 	want := s.Step + 1

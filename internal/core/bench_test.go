@@ -68,6 +68,10 @@ func (benchFloodMin) Compute(v *core.VertexContext) {
 func benchRun(b *testing.B, cfg core.Config) {
 	b.Helper()
 	b.ReportAllocs()
+	// The caller built the input graph before this point (a sync.Once RMAT
+	// build on first use); without the reset, the first benchmark to run
+	// would bill that construction to its first iteration.
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(cfg); err != nil {
 			b.Fatal(err)
@@ -78,6 +82,15 @@ func benchRun(b *testing.B, cfg core.Config) {
 func BenchmarkEngineDenseFlood(b *testing.B) {
 	g := engineGraph(b)
 	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}})
+}
+
+// BenchmarkEngineDenseFloodExpand is the A/B control for the broadcast
+// message path: the same dense flood with Config.ExpandBroadcasts forcing
+// the legacy eager per-edge expansion, so the record path's effect is the
+// DenseFlood / DenseFloodExpand ratio on identical work.
+func BenchmarkEngineDenseFloodExpand(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}, ExpandBroadcasts: true})
 }
 
 func BenchmarkEngineDenseFloodCombiner(b *testing.B) {
@@ -185,6 +198,21 @@ func BenchmarkEngineSkewTC(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Broadcast-path benchmarks on the star: the extreme frontier-vs-edges
+// gap. When every leaf floods, the engine holds one broadcast record per
+// leaf instead of one message per edge; the non-combined variant exercises
+// the record scatter, the combined variant the pull-side fold over the
+// hub's quarter-million stamped neighbors.
+func BenchmarkEngineBcastStarFlood(b *testing.B) {
+	star, _ := skewGraphs(b)
+	benchRun(b, core.Config{Graph: star, Program: benchFloodMin{}})
+}
+
+func BenchmarkEngineBcastStarFloodCombiner(b *testing.B) {
+	star, _ := skewGraphs(b)
+	benchRun(b, core.Config{Graph: star, Program: benchFloodMin{}, Combiner: core.Min})
 }
 
 // benchRelay passes a hop-counted token around a ring — the sparse

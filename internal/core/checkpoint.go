@@ -210,12 +210,24 @@ func sortAggs(aggs []ckpt.Aggregate) {
 }
 
 // record refreshes the in-memory boundary snapshot after superstep step.
-func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, sendBuf []Message, master *engineState, rec *trace.Recorder) {
+// In-flight broadcast records (sent during step, not expanded at delivery)
+// are captured alongside the unicast queue — checkpoint format v3 — so a
+// resumed run can re-deliver exactly the traffic the original run held.
+func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, sendBuf []Message, bcasts []bcastRec, master *engineState, rec *trace.Recorder) {
 	dest := make([]int64, len(sendBuf))
 	val := make([]int64, len(sendBuf))
 	for i, m := range sendBuf {
 		dest[i] = m.Dest
 		val[i] = m.Value
+	}
+	var bsrc, bval, bseq []int64
+	if len(bcasts) > 0 {
+		bsrc = make([]int64, len(bcasts))
+		bval = make([]int64, len(bcasts))
+		bseq = make([]int64, len(bcasts))
+		for i, r := range bcasts {
+			bsrc[i], bval[i], bseq[i] = r.src, r.val, r.seq
+		}
 	}
 	ck.snap = &ckpt.Snapshot{
 		FP:               ck.fp,
@@ -225,6 +237,9 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 		Halted:           append([]bool(nil), halted...),
 		MsgDest:          dest,
 		MsgVal:           val,
+		BcastSrc:         bsrc,
+		BcastVal:         bval,
+		BcastSeq:         bseq,
 		ActivePerStep:    append([]int64(nil), res.ActivePerStep...),
 		MessagesPerStep:  append([]int64(nil), res.MessagesPerStep...),
 		DeliveredPerStep: append([]int64(nil), res.DeliveredPerStep...),
@@ -239,7 +254,7 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 // says so, and surface interruption as *InterruptedError. A checkpoint
 // write failure aborts the run; previously written checkpoints are intact
 // (writes are temp-file + rename).
-func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, sendBuf []Message, master *engineState, rec *trace.Recorder) error {
+func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, sendBuf []Message, bcasts []bcastRec, master *engineState, rec *trace.Recorder) error {
 	stopped := false
 	if ck.stop != nil {
 		select {
@@ -260,7 +275,7 @@ func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, 
 	if p.Hooks != nil && p.Hooks.Kill != nil && p.Hooks.Kill(int64(step)) {
 		stopped = true
 	}
-	ck.record(step, live, res, halted, sendBuf, master, rec)
+	ck.record(step, live, res, halted, sendBuf, bcasts, master, rec)
 	if !stopped && (step+1)%ck.everyN != 0 {
 		return nil
 	}

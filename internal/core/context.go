@@ -2,14 +2,34 @@ package core
 
 import "graphxmt/internal/graph"
 
+// bcastRec is one recorded broadcast: SendToNeighbors stores a single
+// (source, value) record instead of materializing one Message per edge.
+// seq is the number of unicast messages in the same send buffer at record
+// time — the record's position in the interleaved send stream — so
+// expandTraffic can reconstruct the exact per-edge send order when a
+// superstep mixes Send and SendToNeighbors. Within one buffer seq is
+// non-decreasing by construction (vertices run in ascending order and the
+// buffer only grows).
+type bcastRec struct {
+	src, val, seq int64
+}
+
 // engineState is the per-run state shared by all VertexContext calls.
 type engineState struct {
-	graph      *graph.Graph
-	costs      CostSchedule
-	states     []int64
-	superstep  int
-	sendBuf    []Message
-	sent       int64
+	graph     *graph.Graph
+	costs     CostSchedule
+	states    []int64
+	superstep int
+	sendBuf   []Message
+	// bcastBuf collects SendToNeighbors records in call order (ascending
+	// source vertex within a chunk). sent counts logical messages — one per
+	// edge for a broadcast — so counters, charges, and budgets see exactly
+	// the traffic the per-edge expansion would have produced.
+	bcastBuf []bcastRec
+	sent     int64
+	// expand reverts SendToNeighbors to eager per-edge expansion
+	// (Config.ExpandBroadcasts) for A/B comparison.
+	expand     bool
 	aggregates map[string]*aggregator
 	// prevAggregates snapshots the aggregators as of the end of the
 	// previous superstep (Pregel semantics: a value aggregated in
@@ -93,11 +113,27 @@ func (v *VertexContext) Send(dest, value int64) {
 	v.engine.sent++
 }
 
-// SendToNeighbors sends value to every neighbor.
+// SendToNeighbors sends value to every neighbor. Logically this is one
+// message per edge (and it is counted and charged as such), but the engine
+// records a single broadcast record and expands it at delivery — directly
+// into the inbox CSR — so the physical traffic of a flood superstep is
+// O(frontier), not O(edges incident on the frontier). The received message
+// sequences are identical to per-edge expansion (see deliver in
+// parallel.go for where combiner associativity is leaned on).
 func (v *VertexContext) SendToNeighbors(value int64) {
-	for _, w := range v.Neighbors() {
-		v.Send(w, value)
+	e := v.engine
+	if e.expand {
+		for _, w := range e.graph.Neighbors(v.id) {
+			v.Send(w, value)
+		}
+		return
 	}
+	deg := e.graph.Degree(v.id)
+	if deg == 0 {
+		return
+	}
+	e.bcastBuf = append(e.bcastBuf, bcastRec{src: v.id, val: value, seq: int64(len(e.sendBuf))})
+	e.sent += deg
 }
 
 // VoteToHalt marks the vertex inactive; it will not run again until a

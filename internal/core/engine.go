@@ -87,6 +87,15 @@ type Config struct {
 	// at the superstep boundary (Pregel's combiner optimization). It must
 	// be commutative and associative.
 	Combiner func(a, b int64) int64
+	// ExpandBroadcasts reverts SendToNeighbors to eager per-edge expansion
+	// into the send buffer instead of recording broadcast records expanded
+	// at delivery. A host-path A/B knob for tests and benchmarks: both
+	// treatments produce the same Result, profile, and logical counters
+	// (bit-identical except where deliverBcasts documents reliance on the
+	// combiner laws Config.Combiner already requires), so the flag is not
+	// part of checkpoint fingerprints and a run may resume under either
+	// setting.
+	ExpandBroadcasts bool
 	// Recorder receives the work profile; nil disables recording.
 	Recorder *trace.Recorder
 	// Costs is the engine cost schedule; the zero value selects
@@ -256,6 +265,11 @@ func Run(cfg Config) (*Result, error) {
 	inboxOff := make([]int64, n+1)
 	var inboxVal []int64
 	var sendBuf []Message
+	// bcasts holds the superstep's broadcast records (one per
+	// SendToNeighbors call, not per edge); maybeExpand decides at each
+	// boundary whether delivery consumes the records directly or expands
+	// them into sendBuf.
+	var bcasts []bcastRec
 
 	// Sparse-activation worklist: the vertices worth inspecting this
 	// superstep (message receivers plus non-halted vertices). stamp
@@ -275,8 +289,9 @@ func Run(cfg Config) (*Result, error) {
 		graph:  g,
 		costs:  costs,
 		states: res.States,
+		expand: cfg.ExpandBroadcasts,
 	}
-	scratch := &runScratch{}
+	scratch := &runScratch{sawUnicast: cfg.ExpandBroadcasts}
 
 	startStep := 0
 	if resumeSnap != nil {
@@ -293,7 +308,17 @@ func Run(cfg Config) (*Result, error) {
 		for i := range sendBuf {
 			sendBuf[i] = Message{Dest: resumeSnap.MsgDest[i], Value: resumeSnap.MsgVal[i]}
 		}
-		delivered := scratch.deliver(sendBuf, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, resumeSnap.Step)
+		bcasts = make([]bcastRec, len(resumeSnap.BcastSrc))
+		logical := int64(len(sendBuf))
+		for i := range bcasts {
+			bcasts[i] = bcastRec{src: resumeSnap.BcastSrc[i], val: resumeSnap.BcastVal[i], seq: resumeSnap.BcastSeq[i]}
+			logical += g.Degree(bcasts[i].src)
+		}
+		if len(sendBuf) > 0 {
+			scratch.sawUnicast = true
+		}
+		sendBuf, bcasts = scratch.maybeExpand(sendBuf, bcasts, g, logical)
+		delivered := scratch.deliver(sendBuf, bcasts, logical, g, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, resumeSnap.Step)
 		if cfg.SparseActivation {
 			// At any boundary the wake set equals the non-halted set (every
 			// non-halted vertex re-ran this superstep and stayed awake), so
@@ -304,7 +329,7 @@ func Run(cfg Config) (*Result, error) {
 					wake = append(wake, v)
 				}
 			}
-			candidates = scratch.nextWorklist(candidates, int(resumeSnap.Step), wake, delivered, sendBuf, stamp, n)
+			candidates = scratch.nextWorklist(candidates, int(resumeSnap.Step), wake, delivered, sendBuf, bcasts, g, logical, stamp, n)
 		}
 	}
 
@@ -370,15 +395,21 @@ func Run(cfg Config) (*Result, error) {
 			// minus the copy. Counter and aggregator partials stay per-chunk
 			// so their merge fold structure (hence the result) is identical
 			// to the parallel path's.
+			// The shared send buffer makes every broadcast record's seq global
+			// already, so no offset fix-up is needed on this path.
 			buf := sendBuf[:0]
+			bb := bcasts[:0]
 			for c := 0; c < numChunks; c++ {
 				lo, hi := bounds[c], bounds[c+1]
 				cs := scratch.chunks[c]
 				cs.reset(step, master.prevAggregates)
 				cs.eng.sendBuf = buf
+				cs.eng.bcastBuf = bb
 				cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
 				buf = cs.eng.sendBuf
+				bb = cs.eng.bcastBuf
 				cs.eng.sendBuf = nil
+				cs.eng.bcastBuf = nil
 				if cs.trap != nil {
 					// A trapped chunk is the lowest one (index order); later
 					// chunks won't run, matching the parallel path's
@@ -386,24 +417,35 @@ func Run(cfg Config) (*Result, error) {
 					break
 				}
 			}
-			sendBuf = buf
+			sendBuf, bcasts = buf, bb
 			if o != nil {
 				// The serial sweep bypasses par entirely; its busy time is
 				// the engine goroutine's, folded to worker 0.
 				o.timer.Add(0, time.Since(tObs))
 			}
 		} else {
+			presize := scratch.sawUnicast
 			par.ForBoundaryChunks(bounds, func(c, lo, hi int) {
 				cs := scratch.chunks[c]
 				cs.reset(step, master.prevAggregates)
 				// Pre-size the chunk's private send buffer from its degree
 				// sum (exact for one-message-per-edge programs), avoiding
-				// append-doubling in the hot sweep. The serial path threads
-				// one shared buffer instead, so it needs no hint.
-				cs.presize(scratch.chunkSendHint(lo, hi))
+				// append-doubling in the hot sweep — but only once the run
+				// has actually produced unicast messages: a pure-broadcast
+				// run fills only the (tiny) record buffers and must not
+				// allocate per-edge capacity it will never touch. The serial
+				// path threads one shared buffer instead, so it needs no
+				// hint.
+				if presize {
+					cs.presize(scratch.chunkSendHint(lo, hi))
+				}
 				cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
 			})
 			sendBuf = scratch.concatSends(sendBuf, numChunks)
+			bcasts = scratch.concatBcasts(bcasts, numChunks)
+		}
+		if len(sendBuf) > 0 {
+			scratch.sawUnicast = true
 		}
 		if pe := scratch.firstTrap(numChunks, step); pe != nil {
 			pe.CheckpointPath = ck.emergency()
@@ -414,10 +456,13 @@ func Run(cfg Config) (*Result, error) {
 			tObs = time.Now()
 		}
 
-		// Deterministic merge of the chunk partials.
-		active, received, extraIssue, extraLoads, extraStores, haltDelta := scratch.mergeCounters(numChunks)
+		// Deterministic merge of the chunk partials. sent is the logical
+		// message count — one per edge for broadcasts, exactly what the
+		// per-edge expansion produced before broadcasts became records — so
+		// counters, charges, budgets, and termination are untouched by how
+		// the traffic is physically represented.
+		active, received, sent, extraIssue, extraLoads, extraStores, haltDelta := scratch.mergeCounters(numChunks)
 		live += haltDelta
-		sent := int64(len(sendBuf))
 		if sent > maxMsgs {
 			return nil, &MessageCapError{Superstep: step, Sent: sent, Cap: maxMsgs}
 		}
@@ -455,18 +500,24 @@ func Run(cfg Config) (*Result, error) {
 			if o != nil {
 				o.step(obs.StepStats{
 					Step: step, Active: active, Sent: sent, Received: received,
-					ScratchBytes: scratch.scratchBytes(sendBuf, inboxOff, inboxVal, candidates, stamp),
+					ScratchBytes: scratch.scratchBytes(sendBuf, bcasts, inboxOff, inboxVal, candidates, stamp),
 				})
 			}
 			break
 		}
 
-		// Deliver: counting sort the send buffer into per-vertex inboxes,
-		// applying the combiner if configured.
+		// Deliver: normalize the traffic (keep broadcast records, or expand
+		// them into the send buffer — maybeExpand), then route it into
+		// per-vertex inboxes, applying the combiner if configured. physSent
+		// is what was physically materialized: per-edge messages plus one
+		// record per kept broadcast — the engine-side traffic the logical
+		// counter deliberately does not show.
 		if o != nil {
 			tObs = time.Now()
 		}
-		delivered := scratch.deliver(sendBuf, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, int64(step))
+		sendBuf, bcasts = scratch.maybeExpand(sendBuf, bcasts, g, sent)
+		physSent := int64(len(sendBuf)) + int64(len(bcasts))
+		delivered := scratch.deliver(sendBuf, bcasts, sent, g, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, int64(step))
 		res.DeliveredPerStep = append(res.DeliveredPerStep, delivered)
 		ph.AddTasks(0, 0, costs.DeliverLoadsPerMsg*sent, costs.DeliverStoresPerMsg*sent)
 		if o != nil {
@@ -481,15 +532,15 @@ func Run(cfg Config) (*Result, error) {
 				tObs = time.Now()
 			}
 			wake := scratch.mergeWake(numChunks)
-			candidates = scratch.nextWorklist(candidates, step, wake, delivered, sendBuf, stamp, n)
+			candidates = scratch.nextWorklist(candidates, step, wake, delivered, sendBuf, bcasts, g, sent, stamp, n)
 			if o != nil {
 				o.phase(obsPhaseWorklist, step, tObs)
 			}
 		}
 		if o != nil {
 			o.step(obs.StepStats{
-				Step: step, Active: active, Sent: sent, Delivered: delivered, Received: received,
-				ScratchBytes: scratch.scratchBytes(sendBuf, inboxOff, inboxVal, candidates, stamp),
+				Step: step, Active: active, Sent: sent, SentPhysical: physSent, Delivered: delivered, Received: received,
+				ScratchBytes: scratch.scratchBytes(sendBuf, bcasts, inboxOff, inboxVal, candidates, stamp),
 			})
 		}
 
@@ -500,7 +551,7 @@ func Run(cfg Config) (*Result, error) {
 			if o != nil {
 				tObs = time.Now()
 			}
-			if err := ck.atBoundary(step, live, res, halted, sendBuf, master, cfg.Recorder); err != nil {
+			if err := ck.atBoundary(step, live, res, halted, sendBuf, bcasts, master, cfg.Recorder); err != nil {
 				return nil, err
 			}
 			if o != nil && ck.policy != nil {

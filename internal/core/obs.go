@@ -143,20 +143,25 @@ func (o *obsRun) finish() {
 // scratchBytes approximates the engine's reusable scratch footprint: the
 // run-level buffers plus every chunk's private send buffer and wake list.
 // Called once per superstep, and only when a sink is attached.
-func (s *runScratch) scratchBytes(sendBuf []Message, inboxOff, inboxVal, candidates, stamp []int64) int64 {
-	const msgSize = 16 // Message: two int64s
-	b := int64(cap(sendBuf)) * msgSize
+func (s *runScratch) scratchBytes(sendBuf []Message, bcasts []bcastRec, inboxOff, inboxVal, candidates, stamp []int64) int64 {
+	const (
+		msgSize = 16 // Message: two int64s
+		recSize = 24 // bcastRec: three int64s
+	)
+	b := int64(cap(sendBuf))*msgSize + int64(cap(bcasts))*recSize
+	b += int64(cap(s.expandBuf)) * msgSize
 	b += int64(cap(inboxOff)+cap(inboxVal)+cap(candidates)+cap(stamp)) * 8
-	b += int64(cap(s.sendOff)) * 8
+	b += int64(cap(s.sendOff)+cap(s.bcastOff)) * 8
 	b += int64(cap(s.wake)+cap(s.next)+cap(s.acc)) * 8
 	b += int64(cap(s.has))
 	b += int64(cap(s.counts)) * 4
 	b += int64(cap(s.groupOff)+cap(s.groupVal)+cap(s.rangeCnt)+cap(s.sortScratch)) * 8
 	b += int64(cap(s.rangeMax)+cap(s.hubDest)+cap(s.hubVal)+cap(s.hubPart)+cap(s.candWork)) * 8
-	b += int64(cap(s.foldBnds)+cap(s.bounds)+cap(s.denseBounds)) * 8
+	b += int64(cap(s.foldBnds)+cap(s.bounds)+cap(s.denseBounds)+cap(s.pullBnds)+cap(s.bcastBnds)) * 8
 	b += int64(cap(s.msgStamp)+cap(s.msgLo)+cap(s.msgHi)+cap(s.recvList)) * 8
+	b += int64(cap(s.bcastStamp)+cap(s.bcastVal)+cap(s.bcastWork)) * 8
 	for _, cs := range s.chunks {
-		b += int64(cap(cs.eng.sendBuf))*msgSize + int64(cap(cs.wake))*8
+		b += int64(cap(cs.eng.sendBuf))*msgSize + int64(cap(cs.eng.bcastBuf))*recSize + int64(cap(cs.wake))*8
 	}
 	return b
 }

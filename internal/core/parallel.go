@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"sort"
 
+	"graphxmt/internal/graph"
 	"graphxmt/internal/par"
 )
 
@@ -33,6 +34,14 @@ import (
 //     partitioning of the sort is free to follow the worker count. Its
 //     fan-in is derived from par.Workers() under a scratch-memory budget
 //     (deliverChunks) rather than a fixed cap.
+//
+//   - Broadcasts (SendToNeighbors) are carried as (source, value) records
+//     rather than per-edge messages, and a pure-broadcast superstep is
+//     delivered straight from the records: a record-driven stable scatter
+//     when no combiner is set (exactly the legacy grouping), or a
+//     pull-side fold over destination neighbor lists when one is (see
+//     deliverBcasts for the paths and the one associativity caveat).
+//     Counters and charges still see one logical message per edge.
 //
 //   - The combining path groups messages per destination first (the same
 //     stable sort) and then left-folds each destination's messages in send
@@ -211,6 +220,7 @@ func (cs *chunkState) runRange(p Program, lo, hi, step int, ib *inboxView, halte
 func (cs *chunkState) reset(step int, prevAggs map[string]int64) {
 	cs.eng.superstep = step
 	cs.eng.sendBuf = cs.eng.sendBuf[:0]
+	cs.eng.bcastBuf = cs.eng.bcastBuf[:0]
 	cs.eng.sent = 0
 	cs.eng.extraIssue, cs.eng.extraLoads, cs.eng.extraStores = 0, 0, 0
 	cs.eng.prevAggregates = prevAggs
@@ -277,9 +287,31 @@ func (cs *chunkState) runVertex(p Program, v int64, step int, ib *inboxView, hal
 // per-chunk worker states and the delivery / worklist scratch that the
 // sequential engine used to reallocate each superstep.
 type runScratch struct {
-	chunks  []*chunkState
-	sendOff []int // per-chunk send-buffer offsets for the merge copy
-	wake    []int64
+	chunks   []*chunkState
+	sendOff  []int // per-chunk send-buffer offsets for the merge copy
+	bcastOff []int // per-chunk broadcast-record offsets for the merge copy
+	wake     []int64
+
+	// sawUnicast records whether any superstep of this run has produced
+	// unicast messages yet; the per-chunk send-buffer presize (degree-sum
+	// capacity) is applied only then, so pure-broadcast runs never allocate
+	// per-edge buffers at all. Purely a capacity heuristic — it can never
+	// affect results.
+	sawUnicast bool
+
+	// Broadcast delivery scratch (see deliverBcasts). expandBuf is the
+	// spare message buffer expandTraffic swaps against the engine's send
+	// buffer; bcastStamp/bcastVal are the value-stamped broadcaster
+	// lookaside of the pull-side fold; pullBnds caches the degree-weighted
+	// destination ranges of the parallel pull (graph-constant); bcastWork /
+	// bcastBnds partition broadcast records by degree for the parallel
+	// scatter.
+	expandBuf  []Message
+	bcastStamp []int64
+	bcastVal   []int64
+	pullBnds   []int
+	bcastWork  []int64
+	bcastBnds  []int
 
 	// Sequential delivery scratch (the hoisted next/has/acc of the old
 	// per-superstep allocations). has is all-false between deliveries:
@@ -345,6 +377,7 @@ func (s *runScratch) ensureChunks(numChunks int, master *engineState) {
 		cs.eng.graph = master.graph
 		cs.eng.costs = master.costs
 		cs.eng.states = master.states
+		cs.eng.expand = master.expand
 		cs.ctx.engine = &cs.eng
 		s.chunks = append(s.chunks, cs)
 	}
@@ -442,11 +475,14 @@ func (cs *chunkState) presize(hint int) {
 }
 
 // mergeCounters sums the per-chunk superstep counters (serial over a few
-// hundred chunks; the order is irrelevant for integer sums).
-func (s *runScratch) mergeCounters(numChunks int) (active, received, extraIssue, extraLoads, extraStores, haltDelta int64) {
+// hundred chunks; the order is irrelevant for integer sums). sent is the
+// logical message count — broadcasts count one message per edge, exactly
+// what per-edge expansion would have appended.
+func (s *runScratch) mergeCounters(numChunks int) (active, received, sent, extraIssue, extraLoads, extraStores, haltDelta int64) {
 	for _, cs := range s.chunks[:numChunks] {
 		active += cs.active
 		received += cs.received
+		sent += cs.eng.sent
 		extraIssue += cs.eng.extraIssue
 		extraLoads += cs.eng.extraLoads
 		extraStores += cs.eng.extraStores
@@ -495,6 +531,37 @@ func (s *runScratch) concatSends(dst []Message, numChunks int) []Message {
 	dst = dst[:total]
 	par.ForCoarse(numChunks, func(c int) {
 		copy(dst[s.sendOff[c]:s.sendOff[c+1]], s.chunks[c].eng.sendBuf)
+	})
+	return dst
+}
+
+// concatBcasts concatenates the per-chunk broadcast records into dst in
+// chunk index order — ascending source vertex, the order a sequential
+// sweep records them in — globalizing each record's seq by the chunk's
+// unicast offset (s.sendOff, so concatSends must run first). The serial
+// fast path threads one shared record buffer instead and needs no merge.
+func (s *runScratch) concatBcasts(dst []bcastRec, numChunks int) []bcastRec {
+	if cap(s.bcastOff) < numChunks+1 {
+		s.bcastOff = make([]int, numChunks+1)
+	}
+	s.bcastOff = s.bcastOff[:numChunks+1]
+	total := 0
+	for c := 0; c < numChunks; c++ {
+		s.bcastOff[c] = total
+		total += len(s.chunks[c].eng.bcastBuf)
+	}
+	s.bcastOff[numChunks] = total
+	if cap(dst) < total {
+		dst = make([]bcastRec, total)
+	}
+	dst = dst[:total]
+	par.ForCoarse(numChunks, func(c int) {
+		base := int64(s.sendOff[c])
+		out := dst[s.bcastOff[c]:s.bcastOff[c+1]]
+		for i, r := range s.chunks[c].eng.bcastBuf {
+			r.seq += base
+			out[i] = r
+		}
 	})
 	return dst
 }
@@ -554,14 +621,79 @@ func ensureInt64(s []int64, n int) []int64 {
 	return s[:n]
 }
 
-// deliver routes sendBuf into per-vertex inboxes — dense mode builds the
-// CSR arrays (inboxOff, inboxVal); sparse mode fills the stamped lookaside
-// with stamp st — combining same-destination messages when combine is
-// non-nil, and returns the number of delivered (post-combining) messages.
-// Every path produces the same per-vertex message sequences (the internal
-// layout of inboxVal may differ), so the path choice is a pure host-speed
-// decision.
-func (s *runScratch) deliver(sendBuf []Message, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64) int64 {
+// bcastExpandMax is the logical-message count below which a pure-broadcast
+// superstep is expanded to per-edge messages instead of delivered from
+// records: small supersteps are where the O(sent) sparse lookaside paths
+// shine, and expansion there costs what the sequential engine always paid.
+// A pure host-speed knob — both treatments deliver the same sequences.
+const bcastExpandMax = 1 << 14
+
+// maybeExpand normalizes one superstep's outgoing traffic before delivery.
+// Broadcast records are kept (O(frontier) physical traffic) only when the
+// superstep is pure broadcast and big enough to amortize the record paths'
+// O(n) passes; a mixed Send/SendToNeighbors superstep or a small one is
+// expanded to per-edge messages — reproducing the exact interleaved send
+// order via each record's seq — and delivered through the legacy paths.
+// logical is the logical sent count (one message per broadcast edge), so
+// the expansion buffer is sized exactly.
+func (s *runScratch) maybeExpand(sendBuf []Message, bcasts []bcastRec, g *graph.Graph, logical int64) ([]Message, []bcastRec) {
+	if len(bcasts) == 0 {
+		return sendBuf, bcasts
+	}
+	if len(sendBuf) == 0 && logical >= bcastExpandMax {
+		return sendBuf, bcasts
+	}
+	return s.expandTraffic(sendBuf, bcasts, g, logical), bcasts[:0]
+}
+
+// expandTraffic merges the unicast buffer and the broadcast records into
+// one per-edge message buffer in the exact order a per-edge SendToNeighbors
+// would have produced: record seqs are non-decreasing positions in the
+// unicast stream, so a single merge pass reconstructs the interleave. The
+// old send buffer is retired into s.expandBuf for reuse next superstep.
+func (s *runScratch) expandTraffic(sendBuf []Message, bcasts []bcastRec, g *graph.Graph, logical int64) []Message {
+	out := s.expandBuf
+	if int64(cap(out)) < logical {
+		out = make([]Message, logical)
+	}
+	out = out[:logical]
+	pos, ui := 0, 0
+	for _, r := range bcasts {
+		for ui < int(r.seq) {
+			out[pos] = sendBuf[ui]
+			pos++
+			ui++
+		}
+		val := r.val
+		for _, w := range g.Neighbors(r.src) {
+			out[pos] = Message{Dest: w, Value: val}
+			pos++
+		}
+	}
+	for ui < len(sendBuf) {
+		out[pos] = sendBuf[ui]
+		pos++
+		ui++
+	}
+	s.expandBuf = sendBuf
+	return out
+}
+
+// deliver routes one superstep's traffic into per-vertex inboxes — dense
+// mode builds the CSR arrays (inboxOff, inboxVal); sparse mode fills the
+// stamped lookaside with stamp st — combining same-destination messages
+// when combine is non-nil, and returns the number of delivered
+// (post-combining) messages. Traffic arrives as sendBuf (per-edge unicast
+// messages) plus bcasts (broadcast records, non-empty only after
+// maybeExpand kept them); when records are present sendBuf is empty and
+// the record paths expand them straight into the inbox. Every path
+// produces the same per-vertex message sequences (the internal layout of
+// inboxVal may differ), so the path choice is a pure host-speed decision;
+// see deliverBcasts for the one associativity caveat.
+func (s *runScratch) deliver(sendBuf []Message, bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64) int64 {
+	if len(bcasts) > 0 {
+		return s.deliverBcasts(bcasts, logical, g, n, combine, inboxOff, inboxVal, sparse, st)
+	}
 	sent := len(sendBuf)
 	parallel := par.Workers() > 1 && sent >= deliverParallelMin && int64(sent) < math.MaxInt32
 	if sparse {
@@ -618,6 +750,410 @@ func (s *runScratch) deliver(sendBuf []Message, n int64, combine func(a, b int64
 		return s.seqCombineDeliver(sendBuf, n, combine, inboxOff, inboxVal)
 	}
 	return s.parCombineDeliver(sendBuf, n, combine, inboxOff, inboxVal)
+}
+
+// deliverBcasts delivers a pure-broadcast superstep straight from its
+// records — the tentpole of the broadcast-aware message path. The paths
+// and their determinism obligations:
+//
+//   - No combiner: scatter. Walk the records in order (ascending source),
+//     scattering each record's value to its adjacency through counting-sort
+//     cursors. Record order + adjacency order IS the per-edge send order,
+//     so the output equals the legacy stable grouping EXACTLY — for any
+//     graph, directed or not, with no assumptions on anything.
+//
+//   - Combiner, frontier covering at least half the adjacency, undirected
+//     graph: pull-side fold. Records are stamped into a per-source
+//     value lookaside, then every destination walks its own neighbor list
+//     and folds the stamped neighbors' values in neighbor order — zero
+//     intermediate messages. Neighbor order is a property of the graph, so
+//     the fold is bit-identical at any worker count. It equals the legacy
+//     send-order fold exactly when adjacency lists are sorted ascending
+//     (graph.SortedAdjacency — senders run, hence send, in ascending
+//     order); on unsorted graphs, and when one source broadcasts more than
+//     once in a superstep (the lookaside pre-folds its values in record
+//     order), equality with the per-edge path leans on the commutativity +
+//     associativity Config.Combiner documents — the same contract the hub
+//     prefolds rely on.
+//
+//   - Combiner otherwise (directed graph, or a frontier too sparse for an
+//     O(edges) pull): sequential push-fold from the records, which is the
+//     legacy left fold in the legacy order exactly, minus the intermediate
+//     buffer.
+//
+// Sparse activation routes small supersteps through O(logical) lookaside
+// twins of scatter/push-fold and mirrors the CSR offsets for big ones,
+// exactly as the legacy sparse delivery does.
+func (s *runScratch) deliverBcasts(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64) int64 {
+	if sparse {
+		s.ensureSparseInbox(n)
+		if par.Workers() == 1 && logical < n {
+			if combine == nil {
+				return s.bcastScatterSparse(bcasts, logical, g, inboxVal, st)
+			}
+			return s.bcastCombineSparse(bcasts, g, combine, inboxVal, st)
+		}
+		delivered := s.deliverBcastsDense(bcasts, logical, g, n, combine, inboxOff, inboxVal, st)
+		off := *inboxOff
+		stampArr, lo, hi := s.msgStamp, s.msgLo, s.msgHi
+		par.ForChunked(int(n), func(a, b int) {
+			for v := a; v < b; v++ {
+				if off[v+1] > off[v] {
+					stampArr[v] = st
+					lo[v] = off[v]
+					hi[v] = off[v+1]
+				}
+			}
+		})
+		return delivered
+	}
+	return s.deliverBcastsDense(bcasts, logical, g, n, combine, inboxOff, inboxVal, st)
+}
+
+// deliverBcastsDense builds the dense inbox CSR from broadcast records.
+func (s *runScratch) deliverBcastsDense(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, st int64) int64 {
+	parallel := par.Workers() > 1 && logical >= deliverParallelMin && logical < math.MaxInt32
+	if combine == nil {
+		if parallel {
+			return s.parBcastScatter(bcasts, logical, g, n, inboxOff, inboxVal)
+		}
+		return s.seqBcastScatter(bcasts, logical, g, n, inboxOff, inboxVal)
+	}
+	if !g.Directed() && logical*2 >= int64(len(g.Adjacency())) {
+		s.fillBcastLookaside(bcasts, combine, n, st)
+		if parallel {
+			return s.parBcastPull(g, n, combine, inboxOff, inboxVal, st)
+		}
+		return s.seqBcastPull(g, n, combine, inboxOff, inboxVal, st)
+	}
+	return s.seqBcastCombine(bcasts, g, n, combine, inboxOff, inboxVal)
+}
+
+// seqBcastScatter is the record-driven twin of seqDeliver: a stable
+// counting sort whose input is enumerated from the records' adjacencies
+// instead of a materialized buffer. Identical output to seqDeliver on the
+// expanded messages.
+func (s *runScratch) seqBcastScatter(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
+	off := *inboxOff
+	for i := range off {
+		off[i] = 0
+	}
+	for _, r := range bcasts {
+		for _, w := range g.Neighbors(r.src) {
+			off[w+1]++
+		}
+	}
+	for v := int64(0); v < n; v++ {
+		off[v+1] += off[v]
+	}
+	val := ensureInt64(*inboxVal, int(logical))
+	s.next = ensureInt64(s.next, int(n))
+	next := s.next
+	copy(next, off[:n])
+	for _, r := range bcasts {
+		v := r.val
+		for _, w := range g.Neighbors(r.src) {
+			val[next[w]] = v
+			next[w]++
+		}
+	}
+	*inboxVal = val
+	return logical
+}
+
+// parBcastScatter is the parallel record-driven counting sort: records are
+// split into degree-weighted ranges (the broadcast analogue of
+// stableGroupByDest's message chunks), each range counts per-(destination,
+// range) into an int32 matrix, and an exclusive prefix sum in (dest,
+// range) order yields cursors that realize the unique stable grouping —
+// (destination, record order, adjacency order), which is exactly the
+// per-edge send order. The fan-in tracks the worker count freely for the
+// same reason stableGroupByDest's does.
+func (s *runScratch) parBcastScatter(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
+	nrec := len(bcasts)
+	s.bcastWork = ensureInt64(s.bcastWork, nrec+1)
+	bw := s.bcastWork
+	par.ForChunked(nrec, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			bw[i] = g.Degree(bcasts[i].src) + 1
+		}
+	})
+	bw[nrec] = 0
+	par.ParallelExclusivePrefixSum(bw)
+	C := deliverChunks(n)
+	s.bcastBnds = par.WeightedBoundaries(s.bcastBnds, nrec, C, func(i int) int64 { return bw[i] })
+	bnds := s.bcastBnds
+	R := len(bnds) - 1
+	rw := int64(R)
+	need := n * rw
+	if int64(cap(s.counts)) < need {
+		s.counts = make([]int32, need)
+	}
+	s.counts = s.counts[:need]
+	counts := s.counts
+	par.FillInt32(counts, 0)
+
+	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
+		rc := int64(r)
+		for _, rec := range bcasts[lo:hi] {
+			for _, w := range g.Neighbors(rec.src) {
+				counts[w*rw+rc]++
+			}
+		}
+	})
+	par.ParallelExclusivePrefixSum32(counts)
+
+	off := *inboxOff
+	par.ForChunked(int(n), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			off[v] = int64(counts[int64(v)*rw])
+		}
+	})
+	off[n] = logical
+
+	val := ensureInt64(*inboxVal, int(logical))
+	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
+		rc := int64(r)
+		for _, rec := range bcasts[lo:hi] {
+			v := rec.val
+			for _, w := range g.Neighbors(rec.src) {
+				i := w*rw + rc
+				p := counts[i]
+				counts[i] = p + 1
+				val[p] = v
+			}
+		}
+	})
+	*inboxVal = val
+	return logical
+}
+
+// fillBcastLookaside stamps each record's value into the per-source
+// lookaside the pull fold reads. Sequential and in record order, so a
+// source that broadcast more than once this superstep pre-folds its values
+// deterministically (in record order; equality with the per-edge path then
+// leans on the documented combiner laws — see deliverBcasts).
+func (s *runScratch) fillBcastLookaside(bcasts []bcastRec, combine func(a, b int64) int64, n, st int64) {
+	if int64(len(s.bcastStamp)) < n {
+		s.bcastStamp = make([]int64, n)
+		par.FillInt64(s.bcastStamp, -1)
+		s.bcastVal = make([]int64, n)
+	}
+	stamp, val := s.bcastStamp, s.bcastVal
+	for _, r := range bcasts {
+		if stamp[r.src] == st {
+			val[r.src] = combine(val[r.src], r.val)
+		} else {
+			stamp[r.src] = st
+			val[r.src] = r.val
+		}
+	}
+}
+
+// seqBcastPull is the sequential pull-side fold: every destination walks
+// its own neighbor list against the broadcaster lookaside and folds the
+// stamped values in neighbor order, writing its combined inbox entry
+// directly — no intermediate messages exist at any point.
+func (s *runScratch) seqBcastPull(g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, st int64) int64 {
+	stamp, bval := s.bcastStamp, s.bcastVal
+	off := *inboxOff
+	val := ensureInt64(*inboxVal, int(n))
+	var pos int64
+	for v := int64(0); v < n; v++ {
+		off[v] = pos
+		var acc int64
+		found := false
+		for _, w := range g.Neighbors(v) {
+			if stamp[w] == st {
+				if found {
+					acc = combine(acc, bval[w])
+				} else {
+					acc = bval[w]
+					found = true
+				}
+			}
+		}
+		if found {
+			val[pos] = acc
+			pos++
+		}
+	}
+	off[n] = pos
+	*inboxVal = val
+	return pos
+}
+
+// parBcastPull runs the pull fold over degree-weighted destination ranges
+// (cached once per run — they depend only on the graph). Each destination's
+// fold is confined to its own neighbor list, so the partition cannot
+// perturb results. Pass 1 counts receivers per range (early-exiting on the
+// first stamped neighbor); pass 2 folds and compacts.
+func (s *runScratch) parBcastPull(g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, st int64) int64 {
+	goff := g.Offsets()
+	if len(s.pullBnds) == 0 {
+		s.pullBnds = par.WeightedBoundaries(s.pullBnds, int(n),
+			sweepTargetChunks(int(n)), func(i int) int64 {
+				return goff[i] + int64(i)
+			})
+	}
+	bnds := s.pullBnds
+	numR := len(bnds) - 1
+	s.rangeCnt = ensureInt64(s.rangeCnt, numR)
+	rangeCnt := s.rangeCnt
+	stamp, bval := s.bcastStamp, s.bcastVal
+	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
+		var cnt int64
+		for v := lo; v < hi; v++ {
+			for _, w := range g.Neighbors(int64(v)) {
+				if stamp[w] == st {
+					cnt++
+					break
+				}
+			}
+		}
+		rangeCnt[r] = cnt
+	})
+	delivered := par.ExclusivePrefixSum(rangeCnt)
+	off := *inboxOff
+	val := ensureInt64(*inboxVal, int(delivered))
+	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
+		pos := rangeCnt[r]
+		for v := lo; v < hi; v++ {
+			off[v] = pos
+			var acc int64
+			found := false
+			for _, w := range g.Neighbors(int64(v)) {
+				if stamp[w] == st {
+					if found {
+						acc = combine(acc, bval[w])
+					} else {
+						acc = bval[w]
+						found = true
+					}
+				}
+			}
+			if found {
+				val[pos] = acc
+				pos++
+			}
+		}
+	})
+	off[n] = delivered
+	*inboxVal = val
+	return delivered
+}
+
+// seqBcastCombine is the record-driven twin of seqCombineDeliver: push
+// each record's value to its adjacency, folding per destination in the
+// exact legacy send order — correct for ANY combiner and for directed
+// graphs, where the pull fold cannot see in-edges.
+func (s *runScratch) seqBcastCombine(bcasts []bcastRec, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64) int64 {
+	if int64(len(s.has)) < n {
+		s.has = make([]bool, n)
+		s.acc = make([]int64, n)
+	}
+	has, acc := s.has, s.acc
+	var delivered int64
+	for _, r := range bcasts {
+		v := r.val
+		for _, w := range g.Neighbors(r.src) {
+			if has[w] {
+				acc[w] = combine(acc[w], v)
+			} else {
+				has[w] = true
+				acc[w] = v
+				delivered++
+			}
+		}
+	}
+	val := ensureInt64(*inboxVal, int(delivered))
+	off := *inboxOff
+	var pos int64
+	for v := int64(0); v < n; v++ {
+		off[v] = pos
+		if has[v] {
+			val[pos] = acc[v]
+			pos++
+			has[v] = false
+		}
+	}
+	off[n] = pos
+	*inboxVal = val
+	return delivered
+}
+
+// bcastScatterSparse is the record-driven twin of seqDeliverSparse:
+// O(logical) work touching only receivers, no O(n) pass at all.
+func (s *runScratch) bcastScatterSparse(bcasts []bcastRec, logical int64, g *graph.Graph, inboxVal *[]int64, st int64) int64 {
+	n := int64(len(s.msgStamp))
+	if cap(s.recvList) < int(n) {
+		s.recvList = make([]int64, 0, n)
+	}
+	receivers := s.recvList[:0]
+	stamp, lo, hi := s.msgStamp, s.msgLo, s.msgHi
+	for _, r := range bcasts {
+		for _, w := range g.Neighbors(r.src) {
+			if stamp[w] != st {
+				stamp[w] = st
+				hi[w] = 1
+				receivers = append(receivers, w)
+			} else {
+				hi[w]++
+			}
+		}
+	}
+	var pos int64
+	for _, v := range receivers {
+		cnt := hi[v]
+		lo[v] = pos
+		hi[v] = pos // cursor; restored to end by the scatter below
+		pos += cnt
+	}
+	val := ensureInt64(*inboxVal, int(logical))
+	for _, r := range bcasts {
+		v := r.val
+		for _, w := range g.Neighbors(r.src) {
+			val[hi[w]] = v
+			hi[w]++
+		}
+	}
+	*inboxVal = val
+	return logical
+}
+
+// bcastCombineSparse is the record-driven twin of seqCombineDeliverSparse:
+// fold per destination in exact send order, touching only receivers.
+func (s *runScratch) bcastCombineSparse(bcasts []bcastRec, g *graph.Graph, combine func(a, b int64) int64, inboxVal *[]int64, st int64) int64 {
+	n := int64(len(s.msgStamp))
+	if cap(s.recvList) < int(n) {
+		s.recvList = make([]int64, 0, n)
+	}
+	if int64(len(s.acc)) < n {
+		s.acc = make([]int64, n)
+	}
+	receivers := s.recvList[:0]
+	stamp, lo, hi, acc := s.msgStamp, s.msgLo, s.msgHi, s.acc
+	for _, r := range bcasts {
+		v := r.val
+		for _, w := range g.Neighbors(r.src) {
+			if stamp[w] != st {
+				stamp[w] = st
+				acc[w] = v
+				receivers = append(receivers, w)
+			} else {
+				acc[w] = combine(acc[w], v)
+			}
+		}
+	}
+	delivered := int64(len(receivers))
+	val := ensureInt64(*inboxVal, int(delivered))
+	for i, v := range receivers {
+		val[i] = acc[v]
+		lo[v] = int64(i)
+		hi[v] = int64(i) + 1
+	}
+	*inboxVal = val
+	return delivered
 }
 
 // seqDeliverSparse is the sparse counterpart of seqDeliver: it touches
@@ -955,16 +1491,20 @@ func (s *runScratch) parCombineDeliver(sendBuf []Message, n int64, combine func(
 // nextWorklist builds the next superstep's sparse-activation candidate
 // list — message receivers plus vertices that stayed awake, deduplicated,
 // in ascending vertex order — into the candidates backing array (cap n).
+// Receivers are enumerated from sendBuf destinations plus the broadcast
+// records' adjacencies (logical is the combined logical message count);
+// both strategies produce a sorted deduplicated set, so enumeration order
+// is irrelevant.
 //
 // Two equivalent strategies, chosen by deterministic quantities only:
 // large worklists use a parallel stamp-ordered dense sweep (ascending by
 // construction, O(n)); small ones stamp-deduplicate the receivers and wake
 // list and radix-sort, O(k) — the sort.Slice the sequential engine used is
 // gone entirely.
-func (s *runScratch) nextWorklist(candidates []int64, step int, wake []int64, delivered int64, sendBuf []Message, stamp []int64, n int64) []int64 {
+func (s *runScratch) nextWorklist(candidates []int64, step int, wake []int64, delivered int64, sendBuf []Message, bcasts []bcastRec, g *graph.Graph, logical int64, stamp []int64, n int64) []int64 {
 	st := int64(step)
 	msgStamp := s.msgStamp
-	if (delivered+int64(len(wake)))*4 >= n || int64(len(sendBuf)) >= n {
+	if (delivered+int64(len(wake)))*4 >= n || logical >= n {
 		// Dense sweep: mark the wake set, then collect every vertex with a
 		// freshly stamped inbox or a fresh wake stamp, in index order.
 		// Wake entries are unique (a vertex runs at most once per
@@ -1006,6 +1546,14 @@ func (s *runScratch) nextWorklist(candidates []int64, step int, wake []int64, de
 		if stamp[m.Dest] != st {
 			stamp[m.Dest] = st
 			out = append(out, m.Dest)
+		}
+	}
+	for _, r := range bcasts {
+		for _, w := range g.Neighbors(r.src) {
+			if stamp[w] != st {
+				stamp[w] = st
+				out = append(out, w)
+			}
 		}
 	}
 	for _, v := range wake {

@@ -69,10 +69,12 @@ func RMATEdges(cfg RMATConfig) ([]graph.Edge, int64, error) {
 	n := int64(1) << uint(cfg.Scale)
 	m := n * int64(cfg.EdgeFactor)
 	edges := make([]graph.Edge, m)
+	seedMix := rng.Mix64(cfg.Seed)
 	par.ForChunked(int(m), func(lo, hi int) {
+		var r rng.Xoshiro
 		for i := lo; i < hi; i++ {
-			r := rng.New(rng.Mix64(cfg.Seed) ^ rng.Mix64(uint64(i)+0x517cc1b727220a95))
-			edges[i] = rmatEdge(r, cfg)
+			r.Reseed(seedMix ^ rng.Mix64(uint64(i)+0x517cc1b727220a95))
+			edges[i] = rmatEdge(&r, cfg)
 		}
 	})
 	return edges, n, nil
@@ -131,9 +133,11 @@ func ErdosRenyi(n int64, m int64, seed uint64) (*graph.Graph, error) {
 		return nil, fmt.Errorf("gen: invalid ER parameters n=%d m=%d", n, m)
 	}
 	edges := make([]graph.Edge, m)
+	seedMix := rng.Mix64(seed)
 	par.ForChunked(int(m), func(lo, hi int) {
+		var r rng.Xoshiro
 		for i := lo; i < hi; i++ {
-			r := rng.New(rng.Mix64(seed) ^ rng.Mix64(uint64(i)+0x2545f4914f6cdd1d))
+			r.Reseed(seedMix ^ rng.Mix64(uint64(i)+0x2545f4914f6cdd1d))
 			edges[i] = graph.Edge{
 				U: int64(r.Uint64n(uint64(n))),
 				V: int64(r.Uint64n(uint64(n))),

@@ -66,14 +66,15 @@ func (j *JSONL) Span(s Span) {
 // Step implements Sink.
 func (j *JSONL) Step(st StepStats) {
 	j.emit(struct {
-		Ev        string `json:"ev"`
-		Step      int    `json:"step"`
-		Active    int64  `json:"active"`
-		Sent      int64  `json:"sent"`
-		Delivered int64  `json:"delivered"`
-		Received  int64  `json:"received"`
-		Scratch   int64  `json:"scratch_bytes"`
-	}{"step", st.Step, st.Active, st.Sent, st.Delivered, st.Received, st.ScratchBytes})
+		Ev       string `json:"ev"`
+		Step     int    `json:"step"`
+		Active   int64  `json:"active"`
+		Sent     int64  `json:"sent"`
+		Physical int64  `json:"msgs_physical"`
+		Deliver  int64  `json:"delivered"`
+		Received int64  `json:"received"`
+		Scratch  int64  `json:"scratch_bytes"`
+	}{"step", st.Step, st.Active, st.Sent, st.SentPhysical, st.Delivered, st.Received, st.ScratchBytes})
 }
 
 // Mem implements Sink.

@@ -77,8 +77,15 @@ type StepStats struct {
 	Step int
 	// Active is the number of vertices that ran Compute.
 	Active int64
-	// Sent is the number of messages sent (before combining).
+	// Sent is the number of logical messages sent (before combining): one
+	// per edge for a broadcast, the paper-fidelity count the cost model
+	// charges.
 	Sent int64
+	// SentPhysical is the number of physically materialized outgoing
+	// records: per-edge messages plus one record per broadcast the engine
+	// kept in record form. Equal to Sent when every send was per-edge;
+	// O(frontier) instead of O(edges) on broadcast-heavy supersteps.
+	SentPhysical int64
 	// Delivered is the number of messages delivered into inboxes (after
 	// combining); zero on the terminal superstep, which delivers nothing.
 	Delivered int64

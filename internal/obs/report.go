@@ -42,10 +42,10 @@ type reportRun struct {
 }
 
 type stepRow struct {
-	step                    int
-	active, sent, delivered int64
-	scratch                 int64
-	hasStats                bool
+	step                              int
+	active, sent, physical, delivered int64
+	scratch                           int64
+	hasStats                          bool
 	phases                  map[string]time.Duration
 
 	// Per-step chunk stats across the step's timed spans, for the imbal
@@ -126,7 +126,7 @@ func (r *Report) Step(st StepStats) {
 		return
 	}
 	row := run.row(st.Step)
-	row.active, row.sent, row.delivered = st.Active, st.Sent, st.Delivered
+	row.active, row.sent, row.physical, row.delivered = st.Active, st.Sent, st.SentPhysical, st.Delivered
 	row.scratch = st.ScratchBytes
 	row.hasStats = true
 }
@@ -185,7 +185,7 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 
 	// Per-superstep table: counters first, then one column per phase in
 	// first-seen order.
-	fmt.Fprintf(w, "%6s %10s %10s %10s %9s %6s", "step", "active", "sent", "delivered", "scratch", "imbal")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %6s", "step", "active", "sent", "phys", "delivered", "scratch", "imbal")
 	for _, name := range r.phaseOrder {
 		fmt.Fprintf(w, " %10s", tail(name, 10))
 	}
@@ -251,9 +251,9 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 func printRows(w io.Writer, rows []*stepRow, phaseOrder []string) {
 	for _, row := range rows {
 		if row.hasStats {
-			fmt.Fprintf(w, "%6d %10d %10d %10d %9s", row.step, row.active, row.sent, row.delivered, fmtBytes(uint64(row.scratch)))
+			fmt.Fprintf(w, "%6d %10d %10d %10d %10d %9s", row.step, row.active, row.sent, row.physical, row.delivered, fmtBytes(uint64(row.scratch)))
 		} else {
-			fmt.Fprintf(w, "%6d %10s %10s %10s %9s", row.step, "-", "-", "-", "-")
+			fmt.Fprintf(w, "%6d %10s %10s %10s %10s %9s", row.step, "-", "-", "-", "-", "-")
 		}
 		fmt.Fprintf(w, " %6s", fmtImbalance(row.chunks, row.busy, row.maxChunk))
 		for _, name := range phaseOrder {

@@ -51,8 +51,17 @@ type Xoshiro struct {
 
 // New returns a Xoshiro generator seeded from seed via SplitMix64.
 func New(seed uint64) *Xoshiro {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro
+	x.Reseed(seed)
+	return &x
+}
+
+// Reseed reinitializes the generator in place, producing exactly the stream
+// New(seed) would. It exists for hot loops that draw a fresh per-item
+// stream (per-edge graph generation): a stack-allocated Xoshiro reseeded
+// each iteration avoids one heap allocation per item.
+func (x *Xoshiro) Reseed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	for i := range x.s {
 		x.s[i] = sm.Uint64()
 	}
@@ -61,7 +70,6 @@ func New(seed uint64) *Xoshiro {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
