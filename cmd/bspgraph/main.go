@@ -6,6 +6,7 @@
 //
 //	bspgraph -g graph.gxmt -alg cc|bfs|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
 //	         [-src -1] [-procs 128] [-rounds 30] [-workers N]
+//	         [-chunking degree|fixed] [-direction auto|push|pull]
 //	         [-checkpoint-dir dir] [-ckpt-every 1] [-ckpt-keep 0] [-resume ckpt]
 //	         [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
 //
@@ -58,6 +59,7 @@ func main() {
 	resume := flag.String("resume", "", "resume from this checkpoint file")
 	faultPlan := flag.String("fault-plan", "", "fault-injection plan, e.g. \"kill@2;panic@3:17\" (testing)")
 	chunking := flag.String("chunking", "degree", "sweep chunk schedule: degree (edge-work weighted) or fixed (vertex count)")
+	direction := flag.String("direction", "auto", "superstep direction: auto (adaptive push/pull), push (forced scatter), pull (pull every eligible superstep)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -87,6 +89,10 @@ func main() {
 		sched = core.ChunkFixed
 	default:
 		usage("-chunking must be degree or fixed, got %q", *chunking)
+	}
+	dir, ok := core.ParseDirection(strings.TrimSpace(*direction))
+	if !ok {
+		usage("-direction must be auto, push or pull, got %q", *direction)
 	}
 	name := strings.TrimSpace(*alg)
 	checkpointed := *ckptDir != "" || *resume != ""
@@ -138,7 +144,7 @@ func main() {
 		label = fmt.Sprintf("%s seed=%d", name, 7)
 	}
 
-	opts := []core.Option{core.WithChunking(sched)}
+	opts := []core.Option{core.WithChunking(sched), core.WithDirection(dir)}
 	if checkpointed {
 		// With -resume but no -checkpoint-dir the policy is label-only:
 		// it validates the checkpoint's identity but writes nothing new.

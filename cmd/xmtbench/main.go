@@ -9,6 +9,7 @@
 //
 //	xmtbench [-exp all|table1|fig1|fig2|fig3|fig4|aux|ablation]
 //	         [-scale 16] [-ef 16] [-seed 1] [-procs 128] [-model analytic|des]
+//	         [-direction auto|push|pull]
 //	         [-workers N] [-obs-format report|jsonl|chrome] [-obs-out out] [-pprof addr|file]
 //
 // The paper's graph is scale 24 / edge factor 16; the default scale 16
@@ -25,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"graphxmt/internal/core"
 	"graphxmt/internal/experiments"
 	"graphxmt/internal/graph500"
 	"graphxmt/internal/machine"
@@ -38,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	procs := flag.Int("procs", 128, "simulated machine size in processors")
 	model := flag.String("model", "analytic", "machine model: analytic or des")
+	direction := flag.String("direction", "auto", "superstep direction for BSP runs: auto, push or pull")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -50,6 +53,10 @@ func main() {
 	}
 	if *procs <= 0 {
 		usage("-procs must be > 0, got %d", *procs)
+	}
+	dir, ok := core.ParseDirection(strings.TrimSpace(*direction))
+	if !ok {
+		usage("-direction must be auto, push or pull, got %q", *direction)
 	}
 	sess, err := obsFlags.Start()
 	if err != nil {
@@ -64,6 +71,7 @@ func main() {
 		EdgeFactor: *ef,
 		Seed:       *seed,
 		Procs:      *procs,
+		Direction:  dir,
 	}
 	cfg := machine.DefaultConfig()
 	cfg.Procs = *procs

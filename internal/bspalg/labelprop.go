@@ -43,6 +43,12 @@ func NewLPProgram(g *graph.Graph, rounds int) *LPProgram {
 // community.
 func (*LPProgram) InitialState(_ *graph.Graph, v int64) int64 { return v }
 
+// PullCapable implements core.PullProgram: label propagation broadcasts
+// only via SendToNeighbors and at most once per vertex per superstep, so
+// direction-optimizing supersteps may execute its exchanges as pull
+// sweeps.
+func (*LPProgram) PullCapable() bool { return true }
+
 // Compute implements core.Program.
 func (p *LPProgram) Compute(v *core.VertexContext) {
 	if v.Superstep() == 0 {

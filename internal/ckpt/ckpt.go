@@ -87,6 +87,12 @@ type Fingerprint struct {
 	MaxMessages   int64
 	// CostsCRC is a CRC32 over the resolved cost schedule.
 	CostsCRC uint32
+	// Direction is the run's direction mode ("auto", "push" or "pull" —
+	// core.DirectionMode). The push/pull decision sequence is a pure
+	// function of the mode and the run's logical counters, so a run may
+	// only resume under the mode it started with; v1-v3 checkpoints decode
+	// as "auto", the only behavior that existed then.
+	Direction string
 }
 
 // Check compares fp (from a checkpoint) against want (the resuming run)
@@ -105,6 +111,7 @@ func (fp Fingerprint) Check(want Fingerprint) error {
 		{"combiner", fmt.Sprint(fp.Combiner), fmt.Sprint(want.Combiner)},
 		{"sparse activation", fmt.Sprint(fp.Sparse), fmt.Sprint(want.Sparse)},
 		{"chunk schedule", fp.Schedule, want.Schedule},
+		{"direction", fp.Direction, want.Direction},
 		{"max supersteps", fmt.Sprint(fp.MaxSupersteps), fmt.Sprint(want.MaxSupersteps)},
 		{"max messages", fmt.Sprint(fp.MaxMessages), fmt.Sprint(want.MaxMessages)},
 		{"cost schedule", fmt.Sprintf("%08x", fp.CostsCRC), fmt.Sprintf("%08x", want.CostsCRC)},
@@ -155,6 +162,14 @@ type Snapshot struct {
 	ActivePerStep    []int64
 	MessagesPerStep  []int64
 	DeliveredPerStep []int64
+	// Directions is the per-superstep push/pull decision sequence (format
+	// v4): one entry per completed superstep (length Step+1), values 1
+	// (push) or 2 (pull) — core.DirectionMode. Visited is the direction
+	// heuristic's visited-vertex bitmap (length FP.Vertices). Both are
+	// present together when the run's direction layer was active, and both
+	// empty otherwise (and for v1-v3 checkpoints).
+	Directions []int64
+	Visited    []bool
 	// Aggregates and PrevAggregates (the Pregel previous-superstep view),
 	// sorted by name.
 	Aggregates     []Aggregate

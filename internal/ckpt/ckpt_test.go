@@ -36,6 +36,7 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 			MaxSupersteps: int64(rng.Intn(1 << 20)),
 			MaxMessages:   int64(rng.Intn(1 << 30)),
 			CostsCRC:      rng.Uint32(),
+			Direction:     []string{"auto", "push", "pull"}[rng.Intn(3)],
 		},
 		Step:   step,
 		States: make([]int64, n),
@@ -76,6 +77,18 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 		s.MessagesPerStep = append(s.MessagesPerStep, int64(rng.Intn(1000)))
 		s.DeliveredPerStep = append(s.DeliveredPerStep, int64(rng.Intn(1000)))
 	}
+	if rng.Intn(2) == 0 {
+		// Direction-layer state (v4): present together — one push/pull
+		// decision per completed superstep plus the per-vertex visited
+		// bitmap.
+		for i := int64(0); i <= step; i++ {
+			s.Directions = append(s.Directions, int64(1+rng.Intn(2)))
+		}
+		s.Visited = make([]bool, n)
+		for i := range s.Visited {
+			s.Visited[i] = rng.Intn(2) == 0
+		}
+	}
 	for i, k := 0, rng.Intn(3); i < k; i++ {
 		s.Aggregates = append(s.Aggregates, ckpt.Aggregate{
 			Name: "agg" + string(rune('a'+i)), Value: rng.Int63n(1 << 40), Seeded: rng.Intn(2) == 0,
@@ -112,6 +125,12 @@ func setStep(s *ckpt.Snapshot, step int64) {
 	s.ActivePerStep = resize(s.ActivePerStep)
 	s.MessagesPerStep = resize(s.MessagesPerStep)
 	s.DeliveredPerStep = resize(s.DeliveredPerStep)
+	if len(s.Directions) > 0 {
+		for int64(len(s.Directions)) < step+1 {
+			s.Directions = append(s.Directions, 1)
+		}
+		s.Directions = s.Directions[:step+1]
+	}
 }
 
 // TestRoundTripProperty: Write/Load is the identity over random valid
@@ -264,6 +283,7 @@ func TestFingerprintCheck(t *testing.T) {
 	base := ckpt.Fingerprint{
 		GraphCRC: 1, Vertices: 10, Edges: 20, Program: "bfs", Label: "src=0",
 		Combiner: true, Sparse: false, MaxSupersteps: 1000, MaxMessages: 1 << 28, CostsCRC: 2,
+		Direction: "auto",
 	}
 	if err := base.Check(base); err != nil {
 		t.Fatalf("identical fingerprints rejected: %v", err)
@@ -280,6 +300,7 @@ func TestFingerprintCheck(t *testing.T) {
 		{"combiner", func(f *ckpt.Fingerprint) { f.Combiner = false }},
 		{"sparse activation", func(f *ckpt.Fingerprint) { f.Sparse = true }},
 		{"chunk schedule", func(f *ckpt.Fingerprint) { f.Schedule = "degree" }},
+		{"direction", func(f *ckpt.Fingerprint) { f.Direction = "pull" }},
 		{"max supersteps", func(f *ckpt.Fingerprint) { f.MaxSupersteps = 5 }},
 		{"max messages", func(f *ckpt.Fingerprint) { f.MaxMessages = 5 }},
 		{"cost schedule", func(f *ckpt.Fingerprint) { f.CostsCRC++ }},
@@ -389,21 +410,27 @@ func TestLatestPathAndPrune(t *testing.T) {
 }
 
 // spliceVersion reconstructs the exact byte layout of an older-format file
-// from a current-version encode of s: version 2 drops the broadcast-record
-// arrays (added in v3, after MsgVal); version 1 additionally drops the
-// Schedule string. The header version and checksum are rewritten to match.
+// from a current-version (v4) encode of s: every target version drops the
+// v4 fields (the Fingerprint Direction string after Schedule and the
+// Directions/Visited arrays after DeliveredPerStep); version 2 also drops
+// the broadcast-record arrays (added in v3, after MsgVal); version 1
+// additionally drops the Schedule string. The header version and checksum
+// are rewritten to match. Offsets are computed against the original v4
+// layout and spliced back to front so earlier offsets stay valid.
 func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []byte {
 	t.Helper()
 	const header = 16
 	out := append([]byte{}, data...)
 
-	// Broadcast arrays sit after MsgVal: three length-prefixed int64 slices.
 	schedOff := header + 4 + 8 + 8 +
 		4 + len(s.FP.Program) +
 		4 + len(s.FP.Label) +
 		1 + 1
 	schedLen := 4 + len(s.FP.Schedule)
-	bcastOff := schedOff + schedLen +
+	dirStrOff := schedOff + schedLen
+	dirStrLen := 4 + len(s.FP.Direction)
+	// Broadcast arrays sit after MsgVal: three length-prefixed int64 slices.
+	bcastOff := dirStrOff + dirStrLen +
 		8 + 8 + 4 + // MaxSupersteps, MaxMessages, CostsCRC
 		8 + 8 + // Step, Live
 		8 + 8*len(s.States) +
@@ -411,8 +438,18 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 		8 + 8*len(s.MsgDest) +
 		8 + 8*len(s.MsgVal)
 	bcastLen := 3*8 + 8*(len(s.BcastSrc)+len(s.BcastVal)+len(s.BcastSeq))
-	out = append(out[:bcastOff], out[bcastOff+bcastLen:]...)
+	dirArrOff := bcastOff + bcastLen +
+		8 + 8*len(s.ActivePerStep) +
+		8 + 8*len(s.MessagesPerStep) +
+		8 + 8*len(s.DeliveredPerStep)
+	dirArrLen := 8 + 8*len(s.Directions) +
+		8 + len(s.Visited)
 
+	out = append(out[:dirArrOff], out[dirArrOff+dirArrLen:]...)
+	if ver < 3 {
+		out = append(out[:bcastOff], out[bcastOff+bcastLen:]...)
+	}
+	out = append(out[:dirStrOff], out[dirStrOff+dirStrLen:]...)
 	if ver < 2 {
 		out = append(out[:schedOff], out[schedOff+schedLen:]...)
 	}
@@ -453,7 +490,9 @@ func TestLoadVersion1DefaultsSchedule(t *testing.T) {
 	}
 	want := *s
 	want.FP.Schedule = "fixed"
+	want.FP.Direction = "auto"
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
+	want.Directions, want.Visited = nil, nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v1 round trip mismatch beyond Schedule:\nwant %+v\ngot  %+v", &want, got)
 	}
@@ -486,8 +525,45 @@ func TestLoadVersion2NoBroadcasts(t *testing.T) {
 		t.Fatalf("loading version-2 checkpoint: %v", err)
 	}
 	want := *s
+	want.FP.Direction = "auto"
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
+	want.Directions, want.Visited = nil, nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v2 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
+	}
+}
+
+// TestLoadVersion3NoDirection: a version-3 checkpoint (written before the
+// direction layer existed) must load with Direction "auto" — direction
+// optimization shipped defaulting to auto, and pre-direction runs behave
+// exactly as auto runs over push-only programs — and nil direction arrays,
+// with the broadcast records intact.
+func TestLoadVersion3NoDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := randSnapshot(rng)
+	dir := t.TempDir()
+	path, err := ckpt.WriteFile(dir, s, ckpt.FileName(s.Step), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3 := spliceVersion(t, s, data, 3)
+
+	v3path := filepath.Join(dir, "v3"+ckpt.Ext)
+	if err := os.WriteFile(v3path, v3, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(v3path)
+	if err != nil {
+		t.Fatalf("loading version-3 checkpoint: %v", err)
+	}
+	want := *s
+	want.FP.Direction = "auto"
+	want.Directions, want.Visited = nil, nil
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("v3 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
 }

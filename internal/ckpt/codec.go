@@ -31,9 +31,15 @@ import (
 //	    records — their boundary traffic is fully expanded in MsgDest/MsgVal
 //	    — so decode leaves the record slices empty and resume re-delivers
 //	    the expanded queue, which is bit-identical.
+//	4 — direction-optimizing supersteps: Fingerprint gains Direction (the
+//	    run's direction mode, encoded after Schedule; older checkpoints
+//	    decode as "auto", the only behavior that existed then) and Snapshot
+//	    gains the per-superstep decision sequence Directions plus the
+//	    heuristic's Visited bitmap (encoded after DeliveredPerStep; empty
+//	    in older checkpoints and when the direction layer was inactive).
 const (
 	magic      = "GXMTCKP1"
-	version    = 3
+	version    = 4
 	minVersion = 1
 
 	// Ext is the checkpoint file extension.
@@ -245,6 +251,7 @@ func Encode(s *Snapshot) []byte {
 	e.boolean(s.FP.Combiner)
 	e.boolean(s.FP.Sparse)
 	e.str(s.FP.Schedule)
+	e.str(s.FP.Direction)
 	e.i64(s.FP.MaxSupersteps)
 	e.i64(s.FP.MaxMessages)
 	e.u32(s.FP.CostsCRC)
@@ -261,6 +268,8 @@ func Encode(s *Snapshot) []byte {
 	e.int64s(s.ActivePerStep)
 	e.int64s(s.MessagesPerStep)
 	e.int64s(s.DeliveredPerStep)
+	e.int64s(s.Directions)
+	e.bools(s.Visited)
 
 	encAggs := func(aggs []Aggregate) {
 		e.i64(int64(len(aggs)))
@@ -316,6 +325,13 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 		// always taken under the fixed schedule.
 		s.FP.Schedule = "fixed"
 	}
+	if ver >= 4 {
+		s.FP.Direction = d.str()
+	} else {
+		// Pre-v4 checkpoints predate direction modes; every run behaved as
+		// direction "auto".
+		s.FP.Direction = "auto"
+	}
 	s.FP.MaxSupersteps = d.i64()
 	s.FP.MaxMessages = d.i64()
 	s.FP.CostsCRC = d.u32()
@@ -334,6 +350,10 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	s.ActivePerStep = d.int64s()
 	s.MessagesPerStep = d.int64s()
 	s.DeliveredPerStep = d.int64s()
+	if ver >= 4 {
+		s.Directions = d.int64s()
+		s.Visited = d.bools()
+	}
 
 	decAggs := func() []Aggregate {
 		n := d.length(13) // name len + value + seeded lower-bounds an entry
@@ -405,6 +425,25 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	want := s.Step + 1
 	if int64(len(s.ActivePerStep)) != want || int64(len(s.MessagesPerStep)) != want || int64(len(s.DeliveredPerStep)) != want {
 		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("per-step counters sized %d/%d/%d, want %d (step %d)", len(s.ActivePerStep), len(s.MessagesPerStep), len(s.DeliveredPerStep), want, s.Step)}
+	}
+	// Direction-layer arrays are present together or not at all; when
+	// present, the decision sequence covers every completed superstep with
+	// push/pull values and the visited bitmap is per-vertex.
+	if (len(s.Directions) == 0) != (len(s.Visited) == 0) {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("direction arrays mismatched (%d decisions, %d visited)", len(s.Directions), len(s.Visited))}
+	}
+	if len(s.Directions) > 0 {
+		if int64(len(s.Directions)) != want {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("direction sequence sized %d, want %d (step %d)", len(s.Directions), want, s.Step)}
+		}
+		if int64(len(s.Visited)) != s.FP.Vertices {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("visited bitmap sized %d, fingerprint says %d vertices", len(s.Visited), s.FP.Vertices)}
+		}
+		for i, v := range s.Directions {
+			if v != 1 && v != 2 {
+				return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("direction %d has invalid value %d (want 1=push or 2=pull)", i, v)}
+			}
+		}
 	}
 	var live int64
 	for _, h := range s.Halted {

@@ -215,6 +215,22 @@ func BenchmarkEngineBcastStarFloodCombiner(b *testing.B) {
 	benchRun(b, core.Config{Graph: star, Program: benchFloodMin{}, Combiner: core.Min})
 }
 
+// Direction A/B benchmarks: BFS (no combiner — the pull-scatter path) on
+// the scale-18 RMAT graph, auto-direction against the forced-push control.
+// The auto run executes apex supersteps as pull sweeps over sorted
+// adjacency instead of scattering every frontier record through per-vertex
+// counting sort; results and profiles are bit-identical (direction_test.go),
+// so the Auto/Push ratio is pure delivery cost on identical work.
+func BenchmarkEngineDirBFSAuto(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: bspalg.BFSProgram{Source: 0}, Direction: core.DirAuto})
+}
+
+func BenchmarkEngineDirBFSPush(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: bspalg.BFSProgram{Source: 0}, Direction: core.DirPush})
+}
+
 // benchRelay passes a hop-counted token around a ring — the sparse
 // worst case: one active vertex per superstep for many supersteps, where
 // the worklist build and termination check dominate the engine's cost.

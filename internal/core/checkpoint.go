@@ -140,6 +140,7 @@ func runFingerprint(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, co
 		MaxSupersteps: int64(maxSteps),
 		MaxMessages:   maxMsgs,
 		CostsCRC:      costsCRC(costs),
+		Direction:     cfg.Direction.String(),
 	}
 }
 
@@ -213,7 +214,7 @@ func sortAggs(aggs []ckpt.Aggregate) {
 // In-flight broadcast records (sent during step, not expanded at delivery)
 // are captured alongside the unicast queue — checkpoint format v3 — so a
 // resumed run can re-deliver exactly the traffic the original run held.
-func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, sendBuf []Message, bcasts []bcastRec, master *engineState, rec *trace.Recorder) {
+func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, sendBuf []Message, bcasts []bcastRec, master *engineState, ds *dirState, rec *trace.Recorder) {
 	dest := make([]int64, len(sendBuf))
 	val := make([]int64, len(sendBuf))
 	for i, m := range sendBuf {
@@ -229,10 +230,26 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 			bsrc[i], bval[i], bseq[i] = r.src, r.val, r.seq
 		}
 	}
+	// Direction layer state — checkpoint format v4: the per-step decision
+	// sequence (so resume re-delivers under the recorded decision and the
+	// restored Result matches) and the visited bitmap (so post-resume
+	// decisions see the same unvisited-edge count the uninterrupted run
+	// would have). Both absent when the direction layer is inactive.
+	var dirs []int64
+	var visited []bool
+	if ds != nil {
+		dirs = make([]int64, len(res.DirectionPerStep))
+		for i, d := range res.DirectionPerStep {
+			dirs[i] = int64(d)
+		}
+		visited = append([]bool(nil), ds.visited...)
+	}
 	ck.snap = &ckpt.Snapshot{
 		FP:               ck.fp,
 		Step:             int64(step),
 		Live:             live,
+		Directions:       dirs,
+		Visited:          visited,
 		States:           append([]int64(nil), master.states...),
 		Halted:           append([]bool(nil), halted...),
 		MsgDest:          dest,
@@ -254,7 +271,7 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 // says so, and surface interruption as *InterruptedError. A checkpoint
 // write failure aborts the run; previously written checkpoints are intact
 // (writes are temp-file + rename).
-func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, sendBuf []Message, bcasts []bcastRec, master *engineState, rec *trace.Recorder) error {
+func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, sendBuf []Message, bcasts []bcastRec, master *engineState, ds *dirState, rec *trace.Recorder) error {
 	stopped := false
 	if ck.stop != nil {
 		select {
@@ -275,7 +292,7 @@ func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, 
 	if p.Hooks != nil && p.Hooks.Kill != nil && p.Hooks.Kill(int64(step)) {
 		stopped = true
 	}
-	ck.record(step, live, res, halted, sendBuf, bcasts, master, rec)
+	ck.record(step, live, res, halted, sendBuf, bcasts, master, ds, rec)
 	if !stopped && (step+1)%ck.everyN != 0 {
 		return nil
 	}
@@ -323,13 +340,32 @@ func (ck *ckptRun) loadResume(path string) (*ckpt.Snapshot, error) {
 // halted set, counters, aggregators, and the trace profile. The message
 // queue and worklist are rebuilt by Run (they live in engine-local
 // buffers).
-func restore(s *ckpt.Snapshot, res *Result, halted []bool, master *engineState, rec *trace.Recorder) (live int64) {
+func restore(s *ckpt.Snapshot, res *Result, halted []bool, master *engineState, ds *dirState, rec *trace.Recorder) (live int64) {
 	copy(res.States, s.States)
 	copy(halted, s.Halted)
 	res.Supersteps = int(s.Step) + 1
 	res.ActivePerStep = append(res.ActivePerStep[:0], s.ActivePerStep...)
 	res.MessagesPerStep = append(res.MessagesPerStep[:0], s.MessagesPerStep...)
 	res.DeliveredPerStep = append(res.DeliveredPerStep[:0], s.DeliveredPerStep...)
+	if ds != nil {
+		res.DirectionPerStep = res.DirectionPerStep[:0]
+		for _, d := range s.Directions {
+			res.DirectionPerStep = append(res.DirectionPerStep, DirectionMode(d))
+		}
+		// Rebuild the visited bitmap and its incident-edge sum from the
+		// snapshot (v≤3 checkpoints carry neither — the bitmap restarts
+		// empty, a documented best-effort for old checkpoints of
+		// pull-capable runs).
+		ds.visitedEdges = 0
+		if len(s.Visited) > 0 {
+			copy(ds.visited, s.Visited)
+			for v := int64(0); v < int64(len(ds.visited)); v++ {
+				if ds.visited[v] {
+					ds.visitedEdges += master.graph.Degree(v)
+				}
+			}
+		}
+	}
 	if len(s.Aggregates) > 0 {
 		master.aggregates = make(map[string]*aggregator, len(s.Aggregates))
 		for _, a := range s.Aggregates {

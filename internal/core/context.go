@@ -27,6 +27,11 @@ type engineState struct {
 	// the traffic the per-edge expansion would have produced.
 	bcastBuf []bcastRec
 	sent     int64
+	// unicast counts Send calls only (never SendToNeighbors, under either
+	// broadcast treatment), so sent-unicast is the frontier's
+	// broadcast-incident-edge count the direction heuristic reads — a
+	// logical quantity identical across treatments and worker counts.
+	unicast int64
 	// expand reverts SendToNeighbors to eager per-edge expansion
 	// (Config.ExpandBroadcasts) for A/B comparison.
 	expand     bool
@@ -111,6 +116,7 @@ func (v *VertexContext) NumVertices() int64 { return v.engine.graph.NumVertices(
 func (v *VertexContext) Send(dest, value int64) {
 	v.engine.sendBuf = append(v.engine.sendBuf, Message{Dest: dest, Value: value})
 	v.engine.sent++
+	v.engine.unicast++
 }
 
 // SendToNeighbors sends value to every neighbor. Logically this is one
@@ -123,9 +129,13 @@ func (v *VertexContext) Send(dest, value int64) {
 func (v *VertexContext) SendToNeighbors(value int64) {
 	e := v.engine
 	if e.expand {
+		// Expanded per-edge messages still count as broadcast traffic, not
+		// unicast — appended directly so the unicast counter (and therefore
+		// the direction decision) is identical under both treatments.
 		for _, w := range e.graph.Neighbors(v.id) {
-			v.Send(w, value)
+			e.sendBuf = append(e.sendBuf, Message{Dest: w, Value: value})
 		}
+		e.sent += e.graph.Degree(v.id)
 		return
 	}
 	deg := e.graph.Degree(v.id)

@@ -1,0 +1,364 @@
+package core_test
+
+// Direction-optimizing supersteps, asserted end to end: the push/pull
+// decision sequence is a pure function of logical counters, so an
+// auto-direction run is bit-identical to the forced-push engine (Result
+// minus the decision record, plus the full trace profile) at any worker
+// count and under either broadcast treatment; the sequence itself is
+// identical across worker counts; and checkpoint/resume replays it exactly,
+// including across a push→pull switch. See direction.go and docs/MODEL.md.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"graphxmt/internal/bspalg"
+	"graphxmt/internal/ckpt"
+	"graphxmt/internal/core"
+	"graphxmt/internal/faultinject"
+	"graphxmt/internal/gen"
+	"graphxmt/internal/graph"
+)
+
+// sansDirections returns a copy of res with the decision record dropped,
+// for comparing an auto run against its forced-push control (whose record
+// legitimately differs — that is the point of the A/B).
+func sansDirections(res *core.Result) *core.Result {
+	c := *res
+	c.DirectionPerStep = nil
+	return &c
+}
+
+func hasDir(res *core.Result, want core.DirectionMode) bool {
+	for _, d := range res.DirectionPerStep {
+		if d == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDirectionDeterminismMatrix: for each pull-capable kernel, the auto
+// run equals the forced-push run in every output except the decision
+// record, at 1, 3, and 8 workers; the auto runs themselves (decision record
+// included) are bit-identical across worker counts; and on the dense
+// scale-free graph the heuristic actually fires at least one pull.
+func TestDirectionDeterminismMatrix(t *testing.T) {
+	g := detGraph(t)
+	cases := []struct {
+		name string
+		// wantPull asserts the auto run pulled at least once, so the
+		// equality below is not vacuously about an all-push sequence.
+		wantPull bool
+		mk       func() core.Config
+	}{
+		{"bfs", true, func() core.Config {
+			return core.Config{Program: bspalg.BFSProgram{Source: 0}}
+		}},
+		{"cc", true, func() core.Config {
+			return core.Config{Program: bspalg.CCProgram{}}
+		}},
+		{"cc/combiner", true, func() core.Config {
+			return core.Config{Program: bspalg.CCProgram{}, Combiner: core.Min}
+		}},
+		{"lp", false, func() core.Config {
+			return core.Config{Program: bspalg.NewLPProgram(g, 20), MaxSupersteps: 22}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			withDir := func(d core.DirectionMode) func() core.Config {
+				return func() core.Config {
+					cfg := tc.mk()
+					cfg.Direction = d
+					return cfg
+				}
+			}
+			pushBase, pushPh := runDet(t, g, 1, withDir(core.DirPush))
+			autoBase, autoPh := runDet(t, g, 1, withDir(core.DirAuto))
+
+			if tc.wantPull && !hasDir(autoBase, core.DirPull) {
+				t.Fatalf("auto run never pulled: %v", autoBase.DirectionPerStep)
+			}
+			if hasDir(pushBase, core.DirPull) {
+				t.Fatalf("forced-push run recorded a pull: %v", pushBase.DirectionPerStep)
+			}
+			if !reflect.DeepEqual(sansDirections(autoBase), sansDirections(pushBase)) {
+				t.Fatalf("auto Result differs from forced-push control\n  auto: steps=%d active=%v msgs=%v\n  push: steps=%d active=%v msgs=%v",
+					autoBase.Supersteps, autoBase.ActivePerStep, autoBase.MessagesPerStep,
+					pushBase.Supersteps, pushBase.ActivePerStep, pushBase.MessagesPerStep)
+			}
+			comparePhases(t, pushPh, autoPh)
+
+			for _, w := range []int{3, 8} {
+				autoRes, ph := runDet(t, g, w, withDir(core.DirAuto))
+				if !reflect.DeepEqual(autoBase, autoRes) {
+					t.Fatalf("w=%d: auto Result differs from 1-worker run\n  directions %v vs %v",
+						w, autoBase.DirectionPerStep, autoRes.DirectionPerStep)
+				}
+				comparePhases(t, autoPh, ph)
+
+				pushRes, ph := runDet(t, g, w, withDir(core.DirPush))
+				if !reflect.DeepEqual(pushBase, pushRes) {
+					t.Fatalf("w=%d: forced-push Result differs from 1-worker run", w)
+				}
+				comparePhases(t, pushPh, ph)
+			}
+		})
+	}
+}
+
+// TestDirectionTreatmentIndependent: the decision sequence (and the whole
+// Result) is identical whether broadcasts are kept as records or eagerly
+// expanded — expansion removes the physical pull path, but the decision is
+// a function of logical counters only, so the record stays the same.
+func TestDirectionTreatmentIndependent(t *testing.T) {
+	g := detGraph(t)
+	run := func(expand bool) *core.Result {
+		res, _ := runDet(t, g, 3, func() core.Config {
+			return core.Config{Program: bspalg.CCProgram{}, ExpandBroadcasts: expand}
+		})
+		return res
+	}
+	rec, exp := run(false), run(true)
+	if !hasDir(rec, core.DirPull) {
+		t.Fatalf("record-path run never pulled: %v", rec.DirectionPerStep)
+	}
+	if !reflect.DeepEqual(rec, exp) {
+		t.Fatalf("Result differs between treatments\n  record:   %v\n  expanded: %v",
+			rec.DirectionPerStep, exp.DirectionPerStep)
+	}
+}
+
+// TestDirectionPullReducesPhysical: on pull-decided supersteps the
+// physically materialized traffic collapses to the broadcast records while
+// the logical per-edge count — the paper-fidelity quantity the cost model
+// charges — is identical to the forced-push control's, step by step.
+func TestDirectionPullReducesPhysical(t *testing.T) {
+	g := detGraph(t)
+	run := func(d core.DirectionMode) []obsStep {
+		sink := &stepCapture{}
+		cfg := core.Config{Graph: g, Program: bspalg.CCProgram{}, Direction: d, Obs: sink}
+		if _, err := core.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]obsStep, len(sink.steps))
+		for i, st := range sink.steps {
+			out[i] = obsStep{dir: st.Direction, sent: st.Sent, phys: st.SentPhysical,
+				frontier: st.FrontierEdges, unvisited: st.UnvisitedEdges}
+		}
+		return out
+	}
+	auto, push := run(core.DirAuto), run(core.DirPush)
+	if len(auto) != len(push) {
+		t.Fatalf("superstep counts differ: %d vs %d", len(auto), len(push))
+	}
+	sawPull := false
+	for i := range auto {
+		if auto[i].sent != push[i].sent {
+			t.Fatalf("step %d: logical Sent differs: auto %d vs push %d", i, auto[i].sent, push[i].sent)
+		}
+		if auto[i].frontier != push[i].frontier || auto[i].unvisited != push[i].unvisited {
+			t.Fatalf("step %d: logical edge counters differ between modes: (%d,%d) vs (%d,%d)",
+				i, auto[i].frontier, auto[i].unvisited, push[i].frontier, push[i].unvisited)
+		}
+		if auto[i].dir == "pull" {
+			sawPull = true
+			if auto[i].phys >= auto[i].sent {
+				t.Fatalf("step %d: pull superstep SentPhysical %d not below logical Sent %d",
+					i, auto[i].phys, auto[i].sent)
+			}
+		}
+	}
+	if !sawPull {
+		t.Fatal("no superstep pulled; physical reduction never exercised")
+	}
+}
+
+type obsStep struct {
+	dir                 string
+	sent, phys          int64
+	frontier, unvisited int64
+}
+
+// TestDirectionRecoveryAcrossSwitch kills an auto BFS at every superstep
+// boundary — the base run must contain both push and pull supersteps, so
+// some kill point sits exactly on the push→pull switch — and asserts the
+// resumed Result (decision record included) and profile are bit-identical
+// to the uninterrupted run's.
+func TestDirectionRecoveryAcrossSwitch(t *testing.T) {
+	g := detGraph(t)
+	mk := func() core.Config {
+		return core.Config{Program: bspalg.BFSProgram{Source: 0}}
+	}
+	base, basePh, err := runRec(g, 3, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDir(base, core.DirPush) || !hasDir(base, core.DirPull) {
+		t.Fatalf("base run must mix directions to cover the switch, got %v", base.DirectionPerStep)
+	}
+	for k := 0; k <= base.Supersteps-2; k++ {
+		dir := t.TempDir()
+		plan := &faultinject.Plan{KillAt: map[int64]bool{int64(k): true}}
+		cfg := mk()
+		cfg.Checkpoint = &ckpt.Policy{Dir: dir, Hooks: plan.Hooks()}
+		_, _, err := runRec(g, 3, cfg)
+		var ie *core.InterruptedError
+		if !errors.As(err, &ie) {
+			t.Fatalf("kill@%d: want InterruptedError, got %v", k, err)
+		}
+
+		cfg = mk()
+		cfg.Checkpoint = &ckpt.Policy{Dir: dir}
+		cfg.Resume = ie.CheckpointPath
+		res, ph, err := runRec(g, 3, cfg)
+		if err != nil {
+			t.Fatalf("resume from kill@%d: %v", k, err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("kill@%d: resumed Result differs\n  directions %v vs %v",
+				k, base.DirectionPerStep, res.DirectionPerStep)
+		}
+		comparePhases(t, basePh, ph)
+	}
+}
+
+// TestDirectionResumeRejectsMismatch: the direction mode is part of the
+// checkpoint fingerprint, so resuming under a different -direction is a
+// typed MismatchError naming the field — never a silent replay under the
+// wrong decision rule.
+func TestDirectionResumeRejectsMismatch(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plan := &faultinject.Plan{KillAt: map[int64]bool{1: true}}
+	cfg := core.Config{
+		Program:    bspalg.BFSProgram{Source: 0},
+		Checkpoint: &ckpt.Policy{Dir: dir, Label: "bfs src=0", Hooks: plan.Hooks()},
+	}
+	_, _, err = runRec(g, 3, cfg)
+	var ie *core.InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InterruptedError, got %v", err)
+	}
+
+	cfg = core.Config{
+		Program:    bspalg.BFSProgram{Source: 0},
+		Direction:  core.DirPush,
+		Checkpoint: &ckpt.Policy{Dir: dir, Label: "bfs src=0"},
+		Resume:     ie.CheckpointPath,
+	}
+	_, _, err = runRec(g, 3, cfg)
+	var me *ckpt.MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("want MismatchError, got %v", err)
+	}
+	if me.Field != "direction" {
+		t.Fatalf("mismatch field %q, want \"direction\"", me.Field)
+	}
+}
+
+// dirlessProg is a minimal program that does not implement PullProgram.
+type dirlessProg struct{}
+
+func (dirlessProg) InitialState(*graph.Graph, int64) int64 { return 0 }
+func (dirlessProg) Compute(v *core.VertexContext)          { v.VoteToHalt() }
+
+// TestDirectionErrors: requesting pull for a program without pull
+// capability is a typed *DirectionError; push is honored for any program
+// (it is the A/B control); out-of-range modes are rejected; and forced
+// pull on a capable program still matches the push control.
+func TestDirectionErrors(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 8, EdgeFactor: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := core.Run(core.Config{Graph: g, Program: dirlessProg{}, Direction: core.DirPull})
+	var de *core.DirectionError
+	if !errors.As(runErr, &de) {
+		t.Fatalf("pull on non-capable program: want DirectionError, got %v", runErr)
+	}
+	if de.Mode != core.DirPull {
+		t.Fatalf("DirectionError.Mode = %v, want pull", de.Mode)
+	}
+
+	if _, err := core.Run(core.Config{Graph: g, Program: dirlessProg{}, Direction: core.DirPush}); err != nil {
+		t.Fatalf("push on non-capable program must run: %v", err)
+	}
+	_, runErr = core.Run(core.Config{Graph: g, Program: dirlessProg{}, Direction: core.DirectionMode(7)})
+	if !errors.As(runErr, &de) {
+		t.Fatalf("out-of-range mode: want DirectionError, got %v", runErr)
+	}
+
+	pull, err := core.Run(core.Config{Graph: g, Program: bspalg.CCProgram{}, Direction: core.DirPull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := core.Run(core.Config{Graph: g, Program: bspalg.CCProgram{}, Direction: core.DirPush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sansDirections(pull), sansDirections(push)) {
+		t.Fatal("forced-pull Result differs from forced-push control")
+	}
+}
+
+// TestParseDirection pins the CLI flag mapping shared by bspgraph and
+// xmtbench.
+func TestParseDirection(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		mode core.DirectionMode
+		ok   bool
+	}{
+		{"auto", core.DirAuto, true},
+		{"push", core.DirPush, true},
+		{"pull", core.DirPull, true},
+		{"", core.DirAuto, false},
+		{"Pull", core.DirAuto, false},
+		{"both", core.DirAuto, false},
+	} {
+		mode, ok := core.ParseDirection(tc.in)
+		if mode != tc.mode || ok != tc.ok {
+			t.Fatalf("ParseDirection(%q) = (%v,%v), want (%v,%v)", tc.in, mode, ok, tc.mode, tc.ok)
+		}
+	}
+	for _, m := range []core.DirectionMode{core.DirAuto, core.DirPush, core.DirPull} {
+		back, ok := core.ParseDirection(m.String())
+		if !ok || back != m {
+			t.Fatalf("round trip %v via %q failed", m, m.String())
+		}
+	}
+}
+
+// TestDirectionStepStats: the report/JSONL counters surface the decision
+// and both logical edge counters on every superstep of a direction-active
+// run.
+func TestDirectionStepStats(t *testing.T) {
+	g := detGraph(t)
+	sink := &stepCapture{}
+	if _, err := core.Run(core.Config{Graph: g, Program: bspalg.BFSProgram{Source: 0}, Obs: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.steps) == 0 {
+		t.Fatal("no step stats emitted")
+	}
+	total := int64(len(g.Adjacency()))
+	for i, st := range sink.steps {
+		if st.Direction != "push" && st.Direction != "pull" {
+			t.Fatalf("step %d: Direction = %q, want push or pull", i, st.Direction)
+		}
+		if st.UnvisitedEdges < 0 || st.UnvisitedEdges > total {
+			t.Fatalf("step %d: UnvisitedEdges %d outside [0,%d]", i, st.UnvisitedEdges, total)
+		}
+		if st.FrontierEdges != st.Sent {
+			// BFS never unicasts, so the frontier's incident edges are
+			// exactly the logical broadcast count.
+			t.Fatalf("step %d: FrontierEdges %d != Sent %d", i, st.FrontierEdges, st.Sent)
+		}
+	}
+}

@@ -144,6 +144,14 @@ type Config struct {
 	// *InterruptedError. This is how cmd/bspgraph turns SIGINT/SIGTERM
 	// into a resumable exit.
 	Stop <-chan struct{}
+	// Direction selects push/pull execution for broadcast-heavy supersteps
+	// (direction.go). The zero value (DirAuto) enables the adaptive
+	// heuristic for pull-capable programs and is the legacy engine for all
+	// others; DirPush forces push scatter (the A/B control); DirPull
+	// requires a pull-capable program or Run returns *DirectionError. The
+	// mode is recorded in checkpoint fingerprints, so a resumed run must
+	// use the mode it started with.
+	Direction DirectionMode
 }
 
 // Result is the outcome of a BSP run.
@@ -164,6 +172,13 @@ type Result struct {
 	DeliveredPerStep []int64
 	// Aggregates holds the final value of every named aggregator.
 	Aggregates map[string]int64
+	// DirectionPerStep records each superstep's push/pull decision (one
+	// entry per superstep, DirPush or DirPull) when the direction layer is
+	// active — the program is pull-capable or a non-auto Direction was
+	// requested; nil otherwise. The sequence is a pure function of logical
+	// counters, identical at any worker count, and is persisted in
+	// checkpoints so resume replays it exactly.
+	DirectionPerStep []DirectionMode
 }
 
 // Run executes the BSP computation to termination.
@@ -205,6 +220,13 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		resumeSnap = s
+	}
+	// ds is the direction-decision state; nil (program not pull-capable,
+	// mode auto) is the legacy engine and costs one pointer check per
+	// superstep.
+	ds, err := startDir(&cfg, g)
+	if err != nil {
+		return nil, err
 	}
 	// o is the observability state; nil (no sink) costs one pointer check
 	// per hook below. tObs is only written/read when o != nil.
@@ -302,7 +324,7 @@ func Run(cfg Config) (*Result, error) {
 		// contains the original charges — and both go through the same
 		// code the original boundary used, so every downstream quantity is
 		// bit-identical to the uninterrupted run's.
-		live = restore(resumeSnap, res, halted, master, cfg.Recorder)
+		live = restore(resumeSnap, res, halted, master, ds, cfg.Recorder)
 		startStep = int(resumeSnap.Step) + 1
 		sendBuf = make([]Message, len(resumeSnap.MsgDest))
 		for i := range sendBuf {
@@ -318,7 +340,14 @@ func Run(cfg Config) (*Result, error) {
 			scratch.sawUnicast = true
 		}
 		sendBuf, bcasts = scratch.maybeExpand(sendBuf, bcasts, g, logical)
-		delivered := scratch.deliver(sendBuf, bcasts, logical, g, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, resumeSnap.Step)
+		// Re-deliver under the decision the original boundary recorded, so
+		// the resumed inbox is built by the same path (DirAuto when the
+		// direction layer is inactive — the legacy delivery heuristics).
+		resumeDir := DirAuto
+		if k := len(res.DirectionPerStep); ds != nil && k > 0 {
+			resumeDir = res.DirectionPerStep[k-1]
+		}
+		delivered := scratch.deliver(sendBuf, bcasts, logical, g, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, resumeSnap.Step, resumeDir)
 		if cfg.SparseActivation {
 			// At any boundary the wake set equals the non-halted set (every
 			// non-halted vertex re-ran this superstep and stayed awake), so
@@ -375,7 +404,11 @@ func Run(cfg Config) (*Result, error) {
 		if numChunks < 0 {
 			numChunks = 0
 		}
-		scratch.ensureChunks(numChunks, master)
+		var visited []bool
+		if ds != nil {
+			visited = ds.visited
+		}
+		scratch.ensureChunks(numChunks, master, visited)
 		sparse := cfg.SparseActivation
 		prog := cfg.Program
 		ib := &inboxView{val: inboxVal, off: inboxOff}
@@ -461,12 +494,29 @@ func Run(cfg Config) (*Result, error) {
 		// per-edge expansion produced before broadcasts became records — so
 		// counters, charges, budgets, and termination are untouched by how
 		// the traffic is physically represented.
-		active, received, sent, extraIssue, extraLoads, extraStores, haltDelta := scratch.mergeCounters(numChunks)
+		active, received, sent, unicast, extraIssue, extraLoads, extraStores, haltDelta := scratch.mergeCounters(numChunks)
 		live += haltDelta
 		if sent > maxMsgs {
 			return nil, &MessageCapError{Superstep: step, Sent: sent, Cap: maxMsgs}
 		}
 		scratch.mergeAggregates(master, numChunks)
+
+		// Direction decision for this superstep's delivery: fold the
+		// chunks' newly-visited degree sums (single-owner writes merged in
+		// chunk order, but a sum — worker-independent either way), then
+		// compare the frontier's incident edges against the unvisited
+		// incident edges. Everything here is a logical counter; the
+		// decision is recorded before delivery so checkpoints persist it
+		// even when this superstep is the run's last boundary.
+		var dirMode DirectionMode
+		var frontierEdges, unvisitedEdges int64
+		if ds != nil {
+			ds.visitedEdges += scratch.mergeVisited(numChunks)
+			frontierEdges = sent - unicast
+			unvisitedEdges = ds.totalEdges - ds.visitedEdges
+			dirMode = ds.decide(frontierEdges, unicast)
+			res.DirectionPerStep = append(res.DirectionPerStep, dirMode)
+		}
 
 		// Charge the compute phase: active dispatch, message receive,
 		// message send, and chunked global buffer allocation.
@@ -498,10 +548,16 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if sent == 0 && live == 0 {
 			if o != nil {
-				o.step(obs.StepStats{
+				st := obs.StepStats{
 					Step: step, Active: active, Sent: sent, Received: received,
 					ScratchBytes: scratch.scratchBytes(sendBuf, bcasts, inboxOff, inboxVal, candidates, stamp),
-				})
+				}
+				if ds != nil {
+					st.Direction = dirMode.String()
+					st.FrontierEdges = frontierEdges
+					st.UnvisitedEdges = unvisitedEdges
+				}
+				o.step(st)
 			}
 			break
 		}
@@ -517,7 +573,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		sendBuf, bcasts = scratch.maybeExpand(sendBuf, bcasts, g, sent)
 		physSent := int64(len(sendBuf)) + int64(len(bcasts))
-		delivered := scratch.deliver(sendBuf, bcasts, sent, g, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, int64(step))
+		delivered := scratch.deliver(sendBuf, bcasts, sent, g, n, cfg.Combiner, &inboxOff, &inboxVal, cfg.SparseActivation, int64(step), dirMode)
 		res.DeliveredPerStep = append(res.DeliveredPerStep, delivered)
 		ph.AddTasks(0, 0, costs.DeliverLoadsPerMsg*sent, costs.DeliverStoresPerMsg*sent)
 		if o != nil {
@@ -538,10 +594,16 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if o != nil {
-			o.step(obs.StepStats{
+			st := obs.StepStats{
 				Step: step, Active: active, Sent: sent, SentPhysical: physSent, Delivered: delivered, Received: received,
 				ScratchBytes: scratch.scratchBytes(sendBuf, bcasts, inboxOff, inboxVal, candidates, stamp),
-			})
+			}
+			if ds != nil {
+				st.Direction = dirMode.String()
+				st.FrontierEdges = frontierEdges
+				st.UnvisitedEdges = unvisitedEdges
+			}
+			o.step(st)
 		}
 
 		// Superstep boundary: snapshot/write checkpoints and honor stop
@@ -551,7 +613,7 @@ func Run(cfg Config) (*Result, error) {
 			if o != nil {
 				tObs = time.Now()
 			}
-			if err := ck.atBoundary(step, live, res, halted, sendBuf, bcasts, master, cfg.Recorder); err != nil {
+			if err := ck.atBoundary(step, live, res, halted, sendBuf, bcasts, master, ds, cfg.Recorder); err != nil {
 				return nil, err
 			}
 			if o != nil && ck.policy != nil {

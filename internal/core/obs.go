@@ -159,7 +159,7 @@ func (s *runScratch) scratchBytes(sendBuf []Message, bcasts []bcastRec, inboxOff
 	b += int64(cap(s.rangeMax)+cap(s.hubDest)+cap(s.hubVal)+cap(s.hubPart)+cap(s.candWork)) * 8
 	b += int64(cap(s.foldBnds)+cap(s.bounds)+cap(s.denseBounds)+cap(s.pullBnds)+cap(s.bcastBnds)) * 8
 	b += int64(cap(s.msgStamp)+cap(s.msgLo)+cap(s.msgHi)+cap(s.recvList)) * 8
-	b += int64(cap(s.bcastStamp)+cap(s.bcastVal)+cap(s.bcastWork)) * 8
+	b += int64(cap(s.bcastLook))*16 + int64(cap(s.bcastWork))*8
 	for _, cs := range s.chunks {
 		b += int64(cap(cs.eng.sendBuf))*msgSize + int64(cap(cs.eng.bcastBuf))*recSize + int64(cap(cs.wake))*8
 	}

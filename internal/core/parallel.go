@@ -175,6 +175,12 @@ type chunkState struct {
 	// haltDelta is the net change to the live (non-halted) vertex count
 	// produced by this chunk's halt-flag transitions.
 	haltDelta int64
+	// visited is the run's shared visited bitmap (direction.go); nil when
+	// the direction layer is inactive. Chunks write only vertices they own
+	// (single-owner, no races) and visitedDelta accumulates the degree sum
+	// of the vertices this chunk marked this superstep.
+	visited      []bool
+	visitedDelta int64
 	// trap records a vertex-program panic recovered while running this
 	// chunk (nil otherwise). The engine folds traps into a ProgramError
 	// after the sweep, lowest chunk first.
@@ -222,9 +228,11 @@ func (cs *chunkState) reset(step int, prevAggs map[string]int64) {
 	cs.eng.sendBuf = cs.eng.sendBuf[:0]
 	cs.eng.bcastBuf = cs.eng.bcastBuf[:0]
 	cs.eng.sent = 0
+	cs.eng.unicast = 0
 	cs.eng.extraIssue, cs.eng.extraLoads, cs.eng.extraStores = 0, 0, 0
 	cs.eng.prevAggregates = prevAggs
 	cs.active, cs.received, cs.haltDelta = 0, 0, 0
+	cs.visitedDelta = 0
 	cs.wake = cs.wake[:0]
 	cs.trap = nil
 }
@@ -269,7 +277,15 @@ func (cs *chunkState) runVertex(p Program, v int64, step int, ib *inboxView, hal
 	ctx.id = v
 	ctx.msgs = msgs
 	ctx.halt = false
+	sentBefore := cs.eng.sent
 	p.Compute(ctx)
+	if cs.visited != nil && !cs.visited[v] && (hasMsgs || cs.eng.sent > sentBefore) {
+		// A vertex is visited once it has received or sent a message — the
+		// logical event the direction heuristic's unvisited-edge count
+		// tracks. Single-owner write: v belongs to exactly this chunk.
+		cs.visited[v] = true
+		cs.visitedDelta += cs.eng.graph.Degree(v)
+	}
 	if ctx.halt != halted[v] {
 		halted[v] = ctx.halt
 		if ctx.halt {
@@ -301,17 +317,15 @@ type runScratch struct {
 
 	// Broadcast delivery scratch (see deliverBcasts). expandBuf is the
 	// spare message buffer expandTraffic swaps against the engine's send
-	// buffer; bcastStamp/bcastVal are the value-stamped broadcaster
-	// lookaside of the pull-side fold; pullBnds caches the degree-weighted
-	// destination ranges of the parallel pull (graph-constant); bcastWork /
-	// bcastBnds partition broadcast records by degree for the parallel
-	// scatter.
-	expandBuf  []Message
-	bcastStamp []int64
-	bcastVal   []int64
-	pullBnds   []int
-	bcastWork  []int64
-	bcastBnds  []int
+	// buffer; bcastLook is the value-stamped broadcaster lookaside of the
+	// pull paths; pullBnds caches the degree-weighted destination ranges
+	// of the parallel pull (graph-constant); bcastWork / bcastBnds
+	// partition broadcast records by degree for the parallel scatter.
+	expandBuf []Message
+	bcastLook []bcastSlot
+	pullBnds  []int
+	bcastWork []int64
+	bcastBnds []int
 
 	// Sequential delivery scratch (the hoisted next/has/acc of the old
 	// per-superstep allocations). has is all-false between deliveries:
@@ -322,15 +336,15 @@ type runScratch struct {
 	acc  []int64
 
 	// Parallel delivery scratch.
-	counts    []int32 // C*n destination counters, dest-major
-	groupOff  []int64 // n+1 group boundaries (combining path)
-	groupVal  []int64 // grouped message values (combining path)
-	rangeCnt  []int64 // per-range counters for compaction sweeps
-	rangeMax  []int64 // per-range max group size (hub detection)
-	foldBnds  []int   // message-weighted fold range boundaries
-	hubDest   []int64 // destinations with >= hubFoldMin messages, ascending
-	hubVal    []int64 // prefolded hub values, parallel to hubDest
-	hubPart   []int64 // per-segment partials of one hub prefold
+	counts   []int32 // C*n destination counters, dest-major
+	groupOff []int64 // n+1 group boundaries (combining path)
+	groupVal []int64 // grouped message values (combining path)
+	rangeCnt []int64 // per-range counters for compaction sweeps
+	rangeMax []int64 // per-range max group size (hub detection)
+	foldBnds []int   // message-weighted fold range boundaries
+	hubDest  []int64 // destinations with >= hubFoldMin messages, ascending
+	hubVal   []int64 // prefolded hub values, parallel to hubDest
+	hubPart  []int64 // per-segment partials of one hub prefold
 
 	// Sweep chunk boundaries (see sweepBoundaries). denseBounds caches the
 	// dense degree-weighted boundaries, which depend only on the graph.
@@ -357,6 +371,30 @@ type runScratch struct {
 	recvList []int64
 }
 
+// bcastSlot pairs a broadcaster's stamp and value in one 16-byte slot.
+// The pull sweeps probe the lookaside once per adjacency entry — random
+// accesses over a vertex-length array — so keeping stamp and value on the
+// same cache line costs one miss per probe instead of two.
+type bcastSlot struct {
+	stamp int64
+	val   int64
+}
+
+// ensureBcastLook sizes the broadcaster lookaside (stamps start at -1,
+// which matches no superstep).
+func (s *runScratch) ensureBcastLook(n int64) []bcastSlot {
+	if int64(len(s.bcastLook)) < n {
+		s.bcastLook = make([]bcastSlot, n)
+		look := s.bcastLook
+		par.ForChunked(int(n), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				look[i].stamp = -1
+			}
+		})
+	}
+	return s.bcastLook
+}
+
 // ensureSparseInbox sizes the lookaside arrays (stamps start at -1, which
 // matches no superstep).
 func (s *runScratch) ensureSparseInbox(n int64) {
@@ -370,8 +408,9 @@ func (s *runScratch) ensureSparseInbox(n int64) {
 }
 
 // ensureChunks guarantees at least numChunks chunk states exist, each
-// wired to the run's shared graph/costs/states.
-func (s *runScratch) ensureChunks(numChunks int, master *engineState) {
+// wired to the run's shared graph/costs/states and (when the direction
+// layer is active) the shared visited bitmap.
+func (s *runScratch) ensureChunks(numChunks int, master *engineState, visited []bool) {
 	for len(s.chunks) < numChunks {
 		cs := &chunkState{}
 		cs.eng.graph = master.graph
@@ -380,6 +419,9 @@ func (s *runScratch) ensureChunks(numChunks int, master *engineState) {
 		cs.eng.expand = master.expand
 		cs.ctx.engine = &cs.eng
 		s.chunks = append(s.chunks, cs)
+	}
+	for _, cs := range s.chunks[:numChunks] {
+		cs.visited = visited
 	}
 }
 
@@ -478,17 +520,28 @@ func (cs *chunkState) presize(hint int) {
 // hundred chunks; the order is irrelevant for integer sums). sent is the
 // logical message count — broadcasts count one message per edge, exactly
 // what per-edge expansion would have appended.
-func (s *runScratch) mergeCounters(numChunks int) (active, received, sent, extraIssue, extraLoads, extraStores, haltDelta int64) {
+func (s *runScratch) mergeCounters(numChunks int) (active, received, sent, unicast, extraIssue, extraLoads, extraStores, haltDelta int64) {
 	for _, cs := range s.chunks[:numChunks] {
 		active += cs.active
 		received += cs.received
 		sent += cs.eng.sent
+		unicast += cs.eng.unicast
 		extraIssue += cs.eng.extraIssue
 		extraLoads += cs.eng.extraLoads
 		extraStores += cs.eng.extraStores
 		haltDelta += cs.haltDelta
 	}
 	return
+}
+
+// mergeVisited sums the chunks' newly-visited degree deltas for one
+// superstep (an integer sum — worker- and order-independent).
+func (s *runScratch) mergeVisited(numChunks int) int64 {
+	var d int64
+	for _, cs := range s.chunks[:numChunks] {
+		d += cs.visitedDelta
+	}
+	return d
 }
 
 // firstTrap returns the ProgramError for the lowest-indexed chunk that
@@ -690,9 +743,9 @@ func (s *runScratch) expandTraffic(sendBuf []Message, bcasts []bcastRec, g *grap
 // produces the same per-vertex message sequences (the internal layout of
 // inboxVal may differ), so the path choice is a pure host-speed decision;
 // see deliverBcasts for the one associativity caveat.
-func (s *runScratch) deliver(sendBuf []Message, bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64) int64 {
+func (s *runScratch) deliver(sendBuf []Message, bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64, dir DirectionMode) int64 {
 	if len(bcasts) > 0 {
-		return s.deliverBcasts(bcasts, logical, g, n, combine, inboxOff, inboxVal, sparse, st)
+		return s.deliverBcasts(bcasts, logical, g, n, combine, inboxOff, inboxVal, sparse, st, dir)
 	}
 	sent := len(sendBuf)
 	parallel := par.Workers() > 1 && sent >= deliverParallelMin && int64(sent) < math.MaxInt32
@@ -784,7 +837,7 @@ func (s *runScratch) deliver(sendBuf []Message, bcasts []bcastRec, logical int64
 // Sparse activation routes small supersteps through O(logical) lookaside
 // twins of scatter/push-fold and mirrors the CSR offsets for big ones,
 // exactly as the legacy sparse delivery does.
-func (s *runScratch) deliverBcasts(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64) int64 {
+func (s *runScratch) deliverBcasts(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, sparse bool, st int64, dir DirectionMode) int64 {
 	if sparse {
 		s.ensureSparseInbox(n)
 		if par.Workers() == 1 && logical < n {
@@ -793,7 +846,7 @@ func (s *runScratch) deliverBcasts(bcasts []bcastRec, logical int64, g *graph.Gr
 			}
 			return s.bcastCombineSparse(bcasts, g, combine, inboxVal, st)
 		}
-		delivered := s.deliverBcastsDense(bcasts, logical, g, n, combine, inboxOff, inboxVal, st)
+		delivered := s.deliverBcastsDense(bcasts, logical, g, n, combine, inboxOff, inboxVal, st, dir)
 		off := *inboxOff
 		stampArr, lo, hi := s.msgStamp, s.msgLo, s.msgHi
 		par.ForChunked(int(n), func(a, b int) {
@@ -807,19 +860,42 @@ func (s *runScratch) deliverBcasts(bcasts []bcastRec, logical int64, g *graph.Gr
 		})
 		return delivered
 	}
-	return s.deliverBcastsDense(bcasts, logical, g, n, combine, inboxOff, inboxVal, st)
+	return s.deliverBcastsDense(bcasts, logical, g, n, combine, inboxOff, inboxVal, st, dir)
 }
 
 // deliverBcastsDense builds the dense inbox CSR from broadcast records.
-func (s *runScratch) deliverBcastsDense(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, st int64) int64 {
+// dir is the superstep's recorded direction decision (direction.go):
+// DirPull selects the pull sweeps, DirPush the push scatters/folds, and
+// DirAuto — the legacy engine, no direction layer — keeps PR 5's
+// combiner-pull heuristic. The decision never depends on the worker
+// count; parallel-vs-sequential below is the usual host-speed routing
+// within the decided direction.
+func (s *runScratch) deliverBcastsDense(bcasts []bcastRec, logical int64, g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, st int64, dir DirectionMode) int64 {
 	parallel := par.Workers() > 1 && logical >= deliverParallelMin && logical < math.MaxInt32
 	if combine == nil {
+		// Pull without a combiner: stamp the records into the lookaside and
+		// let every destination read its stamped neighbors in adjacency
+		// order — equal to the push scatter's (destination, record order)
+		// grouping exactly when adjacency is sorted and sources are unique
+		// (the pullOK gate checks sortedness; uniqueness is a property of
+		// the record stream — one broadcast per vertex per superstep — and
+		// the lookaside fill falls back to the scatter if it is violated).
+		if dir == DirPull && s.fillBcastLookasideScatter(bcasts, n, st) {
+			if parallel {
+				return s.parBcastPullScatter(g, n, inboxOff, inboxVal, st, logical)
+			}
+			return s.seqBcastPullScatter(g, n, inboxOff, inboxVal, st, logical)
+		}
 		if parallel {
 			return s.parBcastScatter(bcasts, logical, g, n, inboxOff, inboxVal)
 		}
 		return s.seqBcastScatter(bcasts, logical, g, n, inboxOff, inboxVal)
 	}
-	if !g.Directed() && logical*2 >= int64(len(g.Adjacency())) {
+	pull := dir == DirPull
+	if dir == DirAuto {
+		pull = !g.Directed() && logical*2 >= int64(len(g.Adjacency()))
+	}
+	if pull {
 		s.fillBcastLookaside(bcasts, combine, n, st)
 		if parallel {
 			return s.parBcastPull(g, n, combine, inboxOff, inboxVal, st)
@@ -928,24 +1004,130 @@ func (s *runScratch) parBcastScatter(bcasts []bcastRec, logical int64, g *graph.
 	return logical
 }
 
+// fillBcastLookasideScatter stamps each record's value into the
+// per-source lookaside for the combinerless pull scatter. Unlike the
+// combining fill there is no fold to hide behind: a source appearing in
+// more than one record would lose a message, so a duplicate makes the
+// fill report false and delivery falls back to the push scatter — a
+// deterministic, input-driven fallback (the PullProgram contract says it
+// cannot happen; the check makes a contract violation safe rather than
+// silently wrong).
+func (s *runScratch) fillBcastLookasideScatter(bcasts []bcastRec, n, st int64) bool {
+	look := s.ensureBcastLook(n)
+	for _, r := range bcasts {
+		if look[r.src].stamp == st {
+			return false
+		}
+		look[r.src] = bcastSlot{stamp: st, val: r.val}
+	}
+	return true
+}
+
+// seqBcastPullScatter is the sequential combinerless pull sweep: every
+// destination walks its own neighbor list and copies each stamped
+// neighbor's broadcast value into its inbox slot, in adjacency order. On
+// an undirected graph with sorted adjacency and unique record sources the
+// per-vertex inbox sequence — stamped neighbors ascending — is exactly
+// the push scatter's (record order is ascending source), so the output
+// equals seqBcastScatter bit for bit while never materializing a message.
+func (s *runScratch) seqBcastPullScatter(g *graph.Graph, n int64, inboxOff *[]int64, inboxVal *[]int64, st, logical int64) int64 {
+	look := s.bcastLook
+	off := *inboxOff
+	// One slack slot past the logical count: the branchless compaction
+	// below stores every probed value at the cursor unconditionally and
+	// only advances the cursor for stamped neighbors, so the final store
+	// can land one past the last delivered entry. Stamped density in a
+	// pull-worthy superstep is far from 0 or 1, so the data-dependent
+	// branch would mispredict on a large fraction of the edge walk.
+	val := ensureInt64(*inboxVal, int(logical)+1)
+	var pos int64
+	for v := int64(0); v < n; v++ {
+		off[v] = pos
+		for _, w := range g.Neighbors(v) {
+			slot := look[w]
+			val[pos] = slot.val
+			var hit int64
+			if slot.stamp == st {
+				hit = 1
+			}
+			pos += hit
+		}
+	}
+	off[n] = pos
+	*inboxVal = val
+	return pos
+}
+
+// parBcastPullScatter runs the combinerless pull sweep over the cached
+// degree-weighted destination ranges (the same partition parBcastPull
+// uses). Pass 1 counts each range's stamped-neighbor total — a full count,
+// not parBcastPull's early-exit receiver count, since every stamped
+// neighbor contributes one inbox entry — pass 2 fills through per-range
+// cursors. Each destination's entries are confined to its own adjacency
+// walk, so the partition cannot perturb the output.
+func (s *runScratch) parBcastPullScatter(g *graph.Graph, n int64, inboxOff *[]int64, inboxVal *[]int64, st, logical int64) int64 {
+	goff := g.Offsets()
+	if len(s.pullBnds) == 0 {
+		s.pullBnds = par.WeightedBoundaries(s.pullBnds, int(n),
+			sweepTargetChunks(int(n)), func(i int) int64 {
+				return goff[i] + int64(i)
+			})
+	}
+	bnds := s.pullBnds
+	numR := len(bnds) - 1
+	s.rangeCnt = ensureInt64(s.rangeCnt, numR)
+	rangeCnt := s.rangeCnt
+	look := s.bcastLook
+	// The count pass is branchless (stamped density makes the branch
+	// unpredictable); the fill pass keeps the conditional store because a
+	// range's cursor sits exactly on the next range's first slot once its
+	// own entries are exhausted — an unconditional slack store there would
+	// race with the neighboring worker.
+	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
+		var cnt int64
+		for v := lo; v < hi; v++ {
+			for _, w := range g.Neighbors(int64(v)) {
+				var hit int64
+				if look[w].stamp == st {
+					hit = 1
+				}
+				cnt += hit
+			}
+		}
+		rangeCnt[r] = cnt
+	})
+	delivered := par.ExclusivePrefixSum(rangeCnt)
+	off := *inboxOff
+	val := ensureInt64(*inboxVal, int(delivered))
+	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
+		pos := rangeCnt[r]
+		for v := lo; v < hi; v++ {
+			off[v] = pos
+			for _, w := range g.Neighbors(int64(v)) {
+				if slot := look[w]; slot.stamp == st {
+					val[pos] = slot.val
+					pos++
+				}
+			}
+		}
+	})
+	off[n] = delivered
+	*inboxVal = val
+	return delivered
+}
+
 // fillBcastLookaside stamps each record's value into the per-source
 // lookaside the pull fold reads. Sequential and in record order, so a
 // source that broadcast more than once this superstep pre-folds its values
 // deterministically (in record order; equality with the per-edge path then
 // leans on the documented combiner laws — see deliverBcasts).
 func (s *runScratch) fillBcastLookaside(bcasts []bcastRec, combine func(a, b int64) int64, n, st int64) {
-	if int64(len(s.bcastStamp)) < n {
-		s.bcastStamp = make([]int64, n)
-		par.FillInt64(s.bcastStamp, -1)
-		s.bcastVal = make([]int64, n)
-	}
-	stamp, val := s.bcastStamp, s.bcastVal
+	look := s.ensureBcastLook(n)
 	for _, r := range bcasts {
-		if stamp[r.src] == st {
-			val[r.src] = combine(val[r.src], r.val)
+		if look[r.src].stamp == st {
+			look[r.src].val = combine(look[r.src].val, r.val)
 		} else {
-			stamp[r.src] = st
-			val[r.src] = r.val
+			look[r.src] = bcastSlot{stamp: st, val: r.val}
 		}
 	}
 }
@@ -955,7 +1137,7 @@ func (s *runScratch) fillBcastLookaside(bcasts []bcastRec, combine func(a, b int
 // stamped values in neighbor order, writing its combined inbox entry
 // directly — no intermediate messages exist at any point.
 func (s *runScratch) seqBcastPull(g *graph.Graph, n int64, combine func(a, b int64) int64, inboxOff *[]int64, inboxVal *[]int64, st int64) int64 {
-	stamp, bval := s.bcastStamp, s.bcastVal
+	look := s.bcastLook
 	off := *inboxOff
 	val := ensureInt64(*inboxVal, int(n))
 	var pos int64
@@ -964,11 +1146,11 @@ func (s *runScratch) seqBcastPull(g *graph.Graph, n int64, combine func(a, b int
 		var acc int64
 		found := false
 		for _, w := range g.Neighbors(v) {
-			if stamp[w] == st {
+			if slot := look[w]; slot.stamp == st {
 				if found {
-					acc = combine(acc, bval[w])
+					acc = combine(acc, slot.val)
 				} else {
-					acc = bval[w]
+					acc = slot.val
 					found = true
 				}
 			}
@@ -1000,12 +1182,12 @@ func (s *runScratch) parBcastPull(g *graph.Graph, n int64, combine func(a, b int
 	numR := len(bnds) - 1
 	s.rangeCnt = ensureInt64(s.rangeCnt, numR)
 	rangeCnt := s.rangeCnt
-	stamp, bval := s.bcastStamp, s.bcastVal
+	look := s.bcastLook
 	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
 		var cnt int64
 		for v := lo; v < hi; v++ {
 			for _, w := range g.Neighbors(int64(v)) {
-				if stamp[w] == st {
+				if look[w].stamp == st {
 					cnt++
 					break
 				}
@@ -1023,11 +1205,11 @@ func (s *runScratch) parBcastPull(g *graph.Graph, n int64, combine func(a, b int
 			var acc int64
 			found := false
 			for _, w := range g.Neighbors(int64(v)) {
-				if stamp[w] == st {
+				if slot := look[w]; slot.stamp == st {
 					if found {
-						acc = combine(acc, bval[w])
+						acc = combine(acc, slot.val)
 					} else {
-						acc = bval[w]
+						acc = slot.val
 						found = true
 					}
 				}

@@ -150,7 +150,7 @@ func TestNextWorklistPathsAgree(t *testing.T) {
 				s := &runScratch{}
 				inboxOff := make([]int64, n+1)
 				var inboxVal []int64
-				delivered := s.deliver(buf, nil, int64(len(buf)), nil, n, nil, &inboxOff, &inboxVal, true, int64(step))
+				delivered := s.deliver(buf, nil, int64(len(buf)), nil, n, nil, &inboxOff, &inboxVal, true, int64(step), DirAuto)
 				if delivered != int64(len(buf)) {
 					t.Fatalf("trial %d w=%d: delivered = %d, want %d", trial, w, delivered, len(buf))
 				}
@@ -202,7 +202,7 @@ func TestSparseDeliverMatchesDense(t *testing.T) {
 					s := &runScratch{}
 					off := make([]int64, tc.n+1)
 					var val []int64
-					delivered := s.deliver(buf, nil, int64(len(buf)), nil, tc.n, combine, &off, &val, true, st)
+					delivered := s.deliver(buf, nil, int64(len(buf)), nil, tc.n, combine, &off, &val, true, st, DirAuto)
 					if delivered != wantDelivered {
 						t.Fatalf("count=%d n=%d w=%d: delivered = %d, want %d",
 							tc.count, tc.n, w, delivered, wantDelivered)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"graphxmt/internal/bspalg"
+	"graphxmt/internal/core"
 	"graphxmt/internal/gen"
 	"graphxmt/internal/graph"
 	"graphxmt/internal/graphct"
@@ -39,6 +40,10 @@ type Setup struct {
 	// Model evaluates work profiles; nil selects the analytic model with
 	// the default (PNNL Cray XMT) configuration.
 	Model machine.Model
+	// Direction selects the BSP engine's superstep direction mode for the
+	// pull-capable kernels (CC, BFS, label propagation). The zero value is
+	// core.DirAuto; core.DirPush is the forced-push A/B control.
+	Direction core.DirectionMode
 }
 
 // DefaultSetup returns the configuration the committed EXPERIMENTS.md
@@ -106,7 +111,7 @@ func Table1(g *graph.Graph, s Setup) (*Table1Result, error) {
 
 	// Connected components.
 	bspRec := trace.NewRecorder()
-	bspCC, err := bspalg.ConnectedComponents(g, bspRec)
+	bspCC, err := bspalg.ConnectedComponents(g, bspRec, core.WithDirection(s.Direction))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: bsp cc: %w", err)
 	}
@@ -124,7 +129,7 @@ func Table1(g *graph.Graph, s Setup) (*Table1Result, error) {
 	// Breadth-first search.
 	src := BFSSource(g)
 	bspRec = trace.NewRecorder()
-	bspBFS, err := bspalg.BFS(g, src, bspRec)
+	bspBFS, err := bspalg.BFS(g, src, bspRec, core.WithDirection(s.Direction))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: bsp bfs: %w", err)
 	}
@@ -188,7 +193,7 @@ type Fig1Result struct {
 func Fig1(g *graph.Graph, s Setup) (*Fig1Result, error) {
 	s = s.withDefaults()
 	bspRec := trace.NewRecorder()
-	if _, err := bspalg.ConnectedComponents(g, bspRec); err != nil {
+	if _, err := bspalg.ConnectedComponents(g, bspRec, core.WithDirection(s.Direction)); err != nil {
 		return nil, err
 	}
 	ctRec := trace.NewRecorder()
@@ -233,7 +238,7 @@ type Fig2Result struct {
 // Fig2 runs BSP BFS and reports frontier vs messages per level.
 func Fig2(g *graph.Graph, s Setup) (*Fig2Result, error) {
 	src := BFSSource(g)
-	bsp, err := bspalg.BFS(g, src, nil)
+	bsp, err := bspalg.BFS(g, src, nil, core.WithDirection(s.Direction))
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +266,7 @@ func Fig3(g *graph.Graph, s Setup) (*Fig3Result, error) {
 	s = s.withDefaults()
 	src := BFSSource(g)
 	bspRec := trace.NewRecorder()
-	if _, err := bspalg.BFS(g, src, bspRec); err != nil {
+	if _, err := bspalg.BFS(g, src, bspRec, core.WithDirection(s.Direction)); err != nil {
 		return nil, err
 	}
 	ctRec := trace.NewRecorder()
@@ -344,7 +349,7 @@ func Aux(g *graph.Graph, s Setup) (*AuxResult, error) {
 	s = s.withDefaults()
 	res := &AuxResult{}
 
-	bspCC, err := bspalg.ConnectedComponents(g, nil)
+	bspCC, err := bspalg.ConnectedComponents(g, nil, core.WithDirection(s.Direction))
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +369,7 @@ func Aux(g *graph.Graph, s Setup) (*AuxResult, error) {
 		res.WriteRatio = float64(res.BSPWrites) / float64(res.GraphCTWrites)
 	}
 
-	bfs, err := bspalg.BFS(g, BFSSource(g), nil)
+	bfs, err := bspalg.BFS(g, BFSSource(g), nil, core.WithDirection(s.Direction))
 	if err != nil {
 		return nil, err
 	}

@@ -182,6 +182,16 @@ func (pp *panicProgram) ProgramName() string {
 	return core.ProgramNameOf(pp.inner)
 }
 
+// PullCapable forwards the inner program's pull capability, so wrapping
+// never changes direction decisions (or fingerprints) versus the
+// unwrapped run.
+func (pp *panicProgram) PullCapable() bool {
+	if p, ok := pp.inner.(core.PullProgram); ok {
+		return p.PullCapable()
+	}
+	return false
+}
+
 // FlipBit flips the given bit of the byte at offset in the file at path —
 // the on-disk corruption primitive for checkpoint validation tests.
 func FlipBit(path string, offset int64, bit uint) error {

@@ -66,15 +66,19 @@ func (j *JSONL) Span(s Span) {
 // Step implements Sink.
 func (j *JSONL) Step(st StepStats) {
 	j.emit(struct {
-		Ev       string `json:"ev"`
-		Step     int    `json:"step"`
-		Active   int64  `json:"active"`
-		Sent     int64  `json:"sent"`
-		Physical int64  `json:"msgs_physical"`
-		Deliver  int64  `json:"delivered"`
-		Received int64  `json:"received"`
-		Scratch  int64  `json:"scratch_bytes"`
-	}{"step", st.Step, st.Active, st.Sent, st.SentPhysical, st.Delivered, st.Received, st.ScratchBytes})
+		Ev        string `json:"ev"`
+		Step      int    `json:"step"`
+		Active    int64  `json:"active"`
+		Sent      int64  `json:"sent"`
+		Physical  int64  `json:"msgs_physical"`
+		Deliver   int64  `json:"delivered"`
+		Received  int64  `json:"received"`
+		Scratch   int64  `json:"scratch_bytes"`
+		Direction string `json:"direction,omitempty"`
+		Frontier  int64  `json:"frontier_edges,omitempty"`
+		Unvisited int64  `json:"unvisited_edges,omitempty"`
+	}{"step", st.Step, st.Active, st.Sent, st.SentPhysical, st.Delivered, st.Received, st.ScratchBytes,
+		st.Direction, st.FrontierEdges, st.UnvisitedEdges})
 }
 
 // Mem implements Sink.

@@ -94,6 +94,15 @@ type StepStats struct {
 	// ScratchBytes approximates the engine's reusable scratch footprint
 	// (send buffers, inbox CSR, delivery counters, worklists).
 	ScratchBytes int64
+	// Direction is the superstep's push/pull decision ("push" or "pull")
+	// when the engine's direction layer is active; empty otherwise.
+	Direction string
+	// FrontierEdges is the broadcast-incident-edge count the direction
+	// heuristic compared (logical messages minus unicasts); UnvisitedEdges
+	// is the incident-edge count of not-yet-visited vertices. Both zero
+	// when Direction is empty.
+	FrontierEdges  int64
+	UnvisitedEdges int64
 }
 
 // MemSample is a sampled runtime.MemStats snapshot.

@@ -35,6 +35,10 @@ type reportRun struct {
 
 	steps   []*stepRow
 	stepIdx map[int]int
+	// hasDir marks that at least one superstep carried a direction
+	// decision; the dir/front/unvis columns render only then, so runs
+	// without the direction layer keep the legacy table shape.
+	hasDir bool
 
 	memFirst, memLast MemSample
 	memPeak           uint64
@@ -45,8 +49,10 @@ type stepRow struct {
 	step                              int
 	active, sent, physical, delivered int64
 	scratch                           int64
+	direction                         string
+	frontier, unvisited               int64
 	hasStats                          bool
-	phases                  map[string]time.Duration
+	phases                            map[string]time.Duration
 
 	// Per-step chunk stats across the step's timed spans, for the imbal
 	// column (max single chunk over mean chunk busy time).
@@ -128,6 +134,10 @@ func (r *Report) Step(st StepStats) {
 	row := run.row(st.Step)
 	row.active, row.sent, row.physical, row.delivered = st.Active, st.Sent, st.SentPhysical, st.Delivered
 	row.scratch = st.ScratchBytes
+	row.direction, row.frontier, row.unvisited = st.Direction, st.FrontierEdges, st.UnvisitedEdges
+	if st.Direction != "" {
+		run.hasDir = true
+	}
 	row.hasStats = true
 }
 
@@ -185,7 +195,11 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 
 	// Per-superstep table: counters first, then one column per phase in
 	// first-seen order.
-	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s %6s", "step", "active", "sent", "phys", "delivered", "scratch", "imbal")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %9s", "step", "active", "sent", "phys", "delivered", "scratch")
+	if r.hasDir {
+		fmt.Fprintf(w, " %4s %10s %10s", "dir", "front", "unvis")
+	}
+	fmt.Fprintf(w, " %6s", "imbal")
 	for _, name := range r.phaseOrder {
 		fmt.Fprintf(w, " %10s", tail(name, 10))
 	}
@@ -196,11 +210,11 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 		head := maxRows * 3 / 4
 		tail := maxRows - head
 		elided = len(rows) - head - tail
-		printRows(w, rows[:head], r.phaseOrder)
+		printRows(w, rows[:head], r.phaseOrder, r.hasDir)
 		fmt.Fprintf(w, "%6s  ... %d supersteps elided ...\n", "", elided)
 		rows = rows[len(rows)-tail:]
 	}
-	printRows(w, rows, r.phaseOrder)
+	printRows(w, rows, r.phaseOrder, r.hasDir)
 
 	// Phase totals with share of wall time.
 	fmt.Fprintf(w, "phases:")
@@ -248,12 +262,19 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 	return nil
 }
 
-func printRows(w io.Writer, rows []*stepRow, phaseOrder []string) {
+func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir bool) {
 	for _, row := range rows {
 		if row.hasStats {
 			fmt.Fprintf(w, "%6d %10d %10d %10d %10d %9s", row.step, row.active, row.sent, row.physical, row.delivered, fmtBytes(uint64(row.scratch)))
 		} else {
 			fmt.Fprintf(w, "%6d %10s %10s %10s %10s %9s", row.step, "-", "-", "-", "-", "-")
+		}
+		if hasDir {
+			if row.direction != "" {
+				fmt.Fprintf(w, " %4s %10d %10d", row.direction, row.frontier, row.unvisited)
+			} else {
+				fmt.Fprintf(w, " %4s %10s %10s", "-", "-", "-")
+			}
 		}
 		fmt.Fprintf(w, " %6s", fmtImbalance(row.chunks, row.busy, row.maxChunk))
 		for _, name := range phaseOrder {
