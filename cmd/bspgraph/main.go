@@ -9,11 +9,20 @@
 //	         [-chunking degree|fixed] [-direction auto|push|pull]
 //	         [-checkpoint-dir dir] [-ckpt-every 1] [-ckpt-keep 0] [-resume ckpt]
 //	         [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
+//	         [-http host:port] [-http-linger 0s]
 //
 // SSSP requires a weighted graph (graphgen does not emit one; build via
 // the library or a weighted DIMACS file). The -obs-* flags export host
 // runtime observability (see docs/OBSERVABILITY.md): per-superstep phase
 // spans, worker utilization, and memory samples.
+//
+// -http serves the live introspection endpoint while the run executes:
+// /metrics (Prometheus text exposition), /runs and /runs/current (JSON run
+// state), and /debug/pprof. -http-linger keeps it up after the run so a
+// scraper can read the final totals. Checkpointed and -http runs also carry
+// a flight recorder (the last supersteps' spans and counters): a
+// vertex-program panic dumps it next to the emergency checkpoint, and
+// SIGQUIT dumps it on demand without stopping the run.
 //
 // With -checkpoint-dir the engine snapshots its state at superstep
 // boundaries; on SIGINT/SIGTERM it finishes the current superstep, writes
@@ -43,6 +52,7 @@ import (
 	"graphxmt/internal/graphio"
 	"graphxmt/internal/machine"
 	"graphxmt/internal/obs"
+	"graphxmt/internal/obs/live"
 	"graphxmt/internal/trace"
 )
 
@@ -61,6 +71,7 @@ func main() {
 	chunking := flag.String("chunking", "degree", "sweep chunk schedule: degree (edge-work weighted) or fixed (vertex count)")
 	direction := flag.String("direction", "auto", "superstep direction: auto (adaptive push/pull), push (forced scatter), pull (pull every eligible superstep)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
+	liveFlags := live.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *path == "" {
@@ -114,6 +125,40 @@ func main() {
 	sess, err := obsFlags.Start()
 	if err != nil {
 		usage("%v", err)
+	}
+	liveSrv, err := liveFlags.Start()
+	if err != nil {
+		usage("%v", err)
+	}
+	// The flight recorder rides along whenever there is somewhere useful to
+	// dump (a checkpoint directory) or someone watching (-http, -obs-*);
+	// default runs keep the nil-sink hot path.
+	var flight *live.FlightRecorder
+	if liveSrv != nil {
+		sess.AddSink(liveSrv.Sink())
+		flight = liveSrv.Flight()
+	} else if checkpointed || sess.Sink != nil {
+		flight = live.NewFlightRecorder(0)
+		sess.AddSink(flight)
+	}
+	if flight != nil {
+		// SIGQUIT dumps the superstep ring without stopping the run —
+		// crash-context on demand for a wedged or slow computation.
+		dumpDir := *ckptDir
+		if dumpDir == "" {
+			dumpDir = "."
+		}
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				if p, err := flight.DumpFlight(dumpDir, "SIGQUIT"); err != nil {
+					fmt.Fprintln(os.Stderr, "bspgraph: flight dump:", err)
+				} else {
+					fmt.Fprintln(os.Stderr, "bspgraph: flight recorder dumped to", p)
+				}
+			}
+		}()
 	}
 	g, err := graphio.LoadFile(*path)
 	if err != nil {
@@ -280,6 +325,7 @@ func main() {
 		fmt.Println("work profile written to", *profile)
 	}
 	exitOn(sess.Close())
+	exitOn(liveFlags.Close(liveSrv))
 }
 
 func usage(format string, args ...any) {
@@ -313,6 +359,9 @@ func exitOn(err error) {
 	if errors.As(err, &pe) && pe.CheckpointPath != "" {
 		fmt.Fprintf(os.Stderr, "bspgraph: %v\nbspgraph: emergency checkpoint: resume with -resume %s\n",
 			err, pe.CheckpointPath)
+		if pe.FlightRecorderPath != "" {
+			fmt.Fprintf(os.Stderr, "bspgraph: flight recorder: %s\n", pe.FlightRecorderPath)
+		}
 		os.Exit(1)
 	}
 	fatal(err)

@@ -11,6 +11,9 @@
 //	profile -in bfs.profile.json -streams 32 -procs 64
 //	profile -in bfs.profile.json -model des           # discrete-event model
 //	profile -in bfs.profile.json -phases              # per-phase breakdown + regimes
+//
+// The shared obs flags (-workers, -obs-format/-obs-out, -pprof) are
+// accepted; -pprof is the useful one here (CPU-profile a large sweep).
 package main
 
 import (
@@ -31,7 +34,7 @@ func main() {
 	hotspot := flag.Int("hotspot", 0, "override hotspot cycles per fetch-and-add (0 = default)")
 	modelName := flag.String("model", "analytic", "machine model: analytic or des")
 	phases := flag.Bool("phases", false, "print per-phase times and regime diagnosis")
-	workers := obs.AddWorkersFlag(flag.CommandLine)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *in == "" {
@@ -56,7 +59,11 @@ func main() {
 	if *procs <= 0 {
 		usage("-procs must be > 0, got %d", *procs)
 	}
-	if _, err := workers.Start(); err != nil {
+	// profile evaluates recorded work, so the obs sinks see no kernel runs
+	// here — the flags matter for -workers and -pprof (CPU-profile the
+	// machine-model evaluation itself on large sweeps).
+	sess, err := obsFlags.Start()
+	if err != nil {
 		usage("%v", err)
 	}
 	f, err := os.Open(*in)
@@ -111,6 +118,9 @@ func main() {
 				p.Name, p.Index,
 				cfg.Seconds(model.PhaseCycles(p, *procs)), regime, 100*share)
 		}
+	}
+	if err := sess.Close(); err != nil {
+		fatal(err)
 	}
 }
 

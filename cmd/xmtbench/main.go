@@ -11,6 +11,7 @@
 //	         [-scale 16] [-ef 16] [-seed 1] [-procs 128] [-model analytic|des]
 //	         [-direction auto|push|pull]
 //	         [-workers N] [-obs-format report|jsonl|chrome] [-obs-out out] [-pprof addr|file]
+//	         [-http host:port] [-http-linger 0s]
 //
 // The paper's graph is scale 24 / edge factor 16; the default scale 16
 // keeps the triangle-counting experiment laptop-sized (see EXPERIMENTS.md
@@ -31,6 +32,7 @@ import (
 	"graphxmt/internal/graph500"
 	"graphxmt/internal/machine"
 	"graphxmt/internal/obs"
+	"graphxmt/internal/obs/live"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 	direction := flag.String("direction", "auto", "superstep direction for BSP runs: auto, push or pull")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	obsFlags := obs.AddFlags(flag.CommandLine)
+	liveFlags := live.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 40 {
@@ -61,6 +64,13 @@ func main() {
 	sess, err := obsFlags.Start()
 	if err != nil {
 		usage("%v", err)
+	}
+	liveSrv, err := liveFlags.Start()
+	if err != nil {
+		usage("%v", err)
+	}
+	if liveSrv != nil {
+		sess.AddSink(liveSrv.Sink())
 	}
 	// Experiments build their recorders internally, so observers are
 	// attached via the process-wide recorder factory.
@@ -222,6 +232,9 @@ func main() {
 		usage("unknown experiment %q", *exp)
 	}
 	if err := sess.Close(); err != nil {
+		fatal(err)
+	}
+	if err := liveFlags.Close(liveSrv); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("done in %v (host time; reported numbers are simulated XMT seconds)\n",

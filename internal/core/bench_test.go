@@ -289,3 +289,26 @@ func BenchmarkEngineSparseRelayObs(b *testing.B) {
 		Obs:              obs.NewReport(),
 	})
 }
+
+// BenchmarkEngineDenseFloodMetrics swaps the report sink for the live
+// metrics registry — the sink a -http run keeps attached for its whole
+// lifetime, so its overhead (atomic counter/histogram updates per event) is
+// what a scraped production run pays. Guarded by the bench gate against
+// BenchmarkEngineDenseFlood (nil sink); see PERFORMANCE.md for the measured
+// delta.
+func BenchmarkEngineDenseFloodMetrics(b *testing.B) {
+	g := engineGraph(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}, Obs: obs.NewMetrics(nil)})
+}
+
+func BenchmarkEngineSparseRelayMetrics(b *testing.B) {
+	const n = 1 << 16
+	g := gen.Ring(n)
+	benchRun(b, core.Config{
+		Graph:            g,
+		Program:          benchRelay{hops: 1024, n: n},
+		SparseActivation: true,
+		MaxSupersteps:    2000,
+		Obs:              obs.NewMetrics(nil),
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"graphxmt/internal/gen"
 	"graphxmt/internal/graph"
 	"graphxmt/internal/obs"
+	"graphxmt/internal/obs/live"
 	"graphxmt/internal/par"
 	"graphxmt/internal/trace"
 )
@@ -33,9 +34,12 @@ func detGraph(t *testing.T) *graph.Graph {
 
 // runDet executes cfg (with a fresh program from mk, since some programs
 // carry per-run state) under w workers and returns result + profile. Every
-// run carries an observability sink: attaching one must never change the
-// Result or the recorded profile, so the determinism assertions double as
-// the obs-is-passive guarantee.
+// run carries the full observability stack — report sink, metrics
+// registry, and a started live introspection server, teed together:
+// attaching them must never change the Result or the recorded profile, so
+// the determinism assertions double as the obs-is-passive guarantee. After
+// the run, the metrics registry's logical counters are reconciled exactly
+// against the Result.
 func runDet(t *testing.T, g *graph.Graph, w int, mk func() core.Config) (*core.Result, []*trace.Phase) {
 	t.Helper()
 	defer par.SetWorkers(par.SetWorkers(w))
@@ -43,12 +47,43 @@ func runDet(t *testing.T, g *graph.Graph, w int, mk func() core.Config) (*core.R
 	cfg := mk()
 	cfg.Graph = g
 	cfg.Recorder = rec
-	cfg.Obs = obs.NewReport()
+	m := obs.NewMetrics(nil)
+	srv := live.NewServer(nil, 0)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cfg.Obs = obs.Tee(obs.NewReport(), m, srv.Sink())
 	res, err := core.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	reconcileMetrics(t, m, res)
 	return res, rec.Phases()
+}
+
+// reconcileMetrics asserts the metrics registry's counters agree exactly
+// with the run's Result — the live view and the returned value are two
+// reads of the same facts.
+func reconcileMetrics(t *testing.T, m *obs.Metrics, res *core.Result) {
+	t.Helper()
+	reg := m.Registry()
+	var wantSent, wantActive int64
+	for _, s := range res.MessagesPerStep {
+		wantSent += s
+	}
+	for _, a := range res.ActivePerStep {
+		wantActive += a
+	}
+	if got := reg.Counter("graphxmt_messages_logical_total", "").Value(); got != wantSent {
+		t.Fatalf("metrics logical messages = %d, Result sums to %d", got, wantSent)
+	}
+	if got := reg.Counter("graphxmt_active_vertices_total", "").Value(); got != wantActive {
+		t.Fatalf("metrics active vertices = %d, Result sums to %d", got, wantActive)
+	}
+	if got := reg.Counter("graphxmt_supersteps_total", "").Value(); got != int64(res.Supersteps) {
+		t.Fatalf("metrics supersteps = %d, Result has %d", got, res.Supersteps)
+	}
 }
 
 func comparePhases(t *testing.T, want, got []*trace.Phase) {

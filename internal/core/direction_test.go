@@ -9,8 +9,11 @@ package core_test
 // including across a push→pull switch. See direction.go and docs/MODEL.md.
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"graphxmt/internal/bspalg"
@@ -19,6 +22,7 @@ import (
 	"graphxmt/internal/faultinject"
 	"graphxmt/internal/gen"
 	"graphxmt/internal/graph"
+	"graphxmt/internal/obs"
 )
 
 // sansDirections returns a copy of res with the decision record dropped,
@@ -331,6 +335,73 @@ func TestParseDirection(t *testing.T) {
 		back, ok := core.ParseDirection(m.String())
 		if !ok || back != m {
 			t.Fatalf("round trip %v via %q failed", m, m.String())
+		}
+	}
+}
+
+// TestDirectionSinkMatchesResult: the sink-visible decision stream is the
+// Result's, step by step — on a real auto-mode run that pulls, every
+// StepStats.Direction equals Result.DirectionPerStep[i].String(), and the
+// JSONL export of the same run carries identical direction/frontier_edges/
+// unvisited_edges per step, so offline tooling and the returned value can
+// never disagree about what the engine decided.
+func TestDirectionSinkMatchesResult(t *testing.T) {
+	g := detGraph(t)
+	capt := &stepCapture{}
+	var buf bytes.Buffer
+	jl := obs.NewJSONL(&buf)
+	res, err := core.Run(core.Config{
+		Graph:   g,
+		Program: bspalg.CCProgram{},
+		Obs:     obs.Tee(capt, jl),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !hasDir(res, core.DirPull) {
+		t.Fatalf("auto run never pulled: %v", res.DirectionPerStep)
+	}
+	if len(capt.steps) != len(res.DirectionPerStep) || len(capt.steps) != res.Supersteps {
+		t.Fatalf("sink saw %d steps, Result has %d directions over %d supersteps",
+			len(capt.steps), len(res.DirectionPerStep), res.Supersteps)
+	}
+	type dirStep struct {
+		Direction string `json:"direction"`
+		Frontier  int64  `json:"frontier_edges"`
+		Unvisited int64  `json:"unvisited_edges"`
+	}
+	var fromJSONL []dirStep
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Ev string `json:"ev"`
+			dirStep
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("jsonl line %q: %v", line, err)
+		}
+		if ev.Ev == "step" {
+			fromJSONL = append(fromJSONL, ev.dirStep)
+		}
+	}
+	if len(fromJSONL) != len(capt.steps) {
+		t.Fatalf("jsonl has %d step events, sink saw %d", len(fromJSONL), len(capt.steps))
+	}
+	for i, st := range capt.steps {
+		if st.Step != i {
+			t.Fatalf("step event %d carries index %d", i, st.Step)
+		}
+		if want := res.DirectionPerStep[i].String(); st.Direction != want {
+			t.Fatalf("step %d: sink direction %q, Result %q", i, st.Direction, want)
+		}
+		if j := fromJSONL[i]; j.Direction != st.Direction || j.Frontier != st.FrontierEdges || j.Unvisited != st.UnvisitedEdges {
+			t.Fatalf("step %d: jsonl (%s,%d,%d) != sink (%s,%d,%d)",
+				i, j.Direction, j.Frontier, j.Unvisited, st.Direction, st.FrontierEdges, st.UnvisitedEdges)
 		}
 	}
 }

@@ -42,6 +42,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -269,6 +270,9 @@ func Run(cfg Config) (*Result, error) {
 				res.States[v] = cfg.Program.InitialState(g, v)
 			}
 		})
+		if o != nil {
+			o.phase(obsPhaseInit, -1, tObs)
+		}
 		if initTrap.trapped {
 			return nil, &ProgramError{
 				Vertex:    initTrap.vertex,
@@ -277,9 +281,6 @@ func Run(cfg Config) (*Result, error) {
 				Recovered: initTrap.val,
 				Stack:     initTrap.stack,
 			}
-		}
-		if o != nil {
-			o.phase(obsPhaseInit, -1, tObs)
 		}
 	}
 
@@ -480,13 +481,19 @@ func Run(cfg Config) (*Result, error) {
 		if len(sendBuf) > 0 {
 			scratch.sawUnicast = true
 		}
-		if pe := scratch.firstTrap(numChunks, step); pe != nil {
-			pe.CheckpointPath = ck.emergency()
-			return nil, pe
-		}
 		if o != nil {
+			// Emitted before the trap check so a panicking superstep's
+			// compute span still reaches the sink — the flight recorder's
+			// ring must contain the failing step.
 			o.phase(obsPhaseCompute, step, tObs)
 			tObs = time.Now()
+		}
+		if pe := scratch.firstTrap(numChunks, step); pe != nil {
+			pe.CheckpointPath = ck.emergency()
+			if pe.CheckpointPath != "" {
+				pe.FlightRecorderPath = o.flightDump(filepath.Dir(pe.CheckpointPath), pe.Error())
+			}
+			return nil, pe
 		}
 
 		// Deterministic merge of the chunk partials. sent is the logical

@@ -23,6 +23,11 @@ type ProgramError struct {
 	// CheckpointPath is the emergency checkpoint written before returning,
 	// or "" when none was (no policy, or no completed boundary yet).
 	CheckpointPath string
+	// FlightRecorderPath is the flight-recorder dump (the last N supersteps'
+	// spans and counters as JSONL) written next to the emergency checkpoint,
+	// or "" when no flight recorder was attached or no checkpoint was
+	// written.
+	FlightRecorderPath string
 }
 
 func (e *ProgramError) Error() string {

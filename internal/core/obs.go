@@ -140,6 +140,25 @@ func (o *obsRun) finish() {
 	o.sink.RunEnd(time.Since(o.start))
 }
 
+// flightDump asks the flight recorder reachable from the run's sink (if
+// any) to dump its superstep ring into dir, returning the written path.
+// Best-effort: a missing recorder or a write failure yields "" — the dump
+// must never mask the ProgramError it annotates. Safe on a nil *obsRun.
+func (o *obsRun) flightDump(dir, cause string) string {
+	if o == nil || dir == "" {
+		return ""
+	}
+	fd := obs.FindFlightDumper(o.sink)
+	if fd == nil {
+		return ""
+	}
+	path, err := fd.DumpFlight(dir, cause)
+	if err != nil {
+		return ""
+	}
+	return path
+}
+
 // scratchBytes approximates the engine's reusable scratch footprint: the
 // run-level buffers plus every chunk's private send buffer and wake list.
 // Called once per superstep, and only when a sink is attached.

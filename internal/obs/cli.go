@@ -166,6 +166,14 @@ func (s *Session) startPProf(spec string) error {
 	return nil
 }
 
+// AddSink tees extra into the session's sink (before or instead of the
+// flag-selected one). Call before Attach/InstallFactory — observers hold the
+// sink pointer they were built with. A nil extra is a no-op, so callers can
+// pass an optional component's sink unconditionally.
+func (s *Session) AddSink(extra Sink) {
+	s.Sink = Tee(s.Sink, extra)
+}
+
 // Attach wires the session's sink to rec as a RecorderObserver (no-op
 // without a sink): shared-memory kernel phases recorded on rec become
 // spans, and BSP runs using rec discover the sink through it. vertices and

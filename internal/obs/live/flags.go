@@ -1,0 +1,57 @@
+package live
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Flags is the live-introspection flag set of the graphxmt commands:
+//
+//	-http host:port      serve /metrics, /runs, /runs/current, /debug/pprof
+//	-http-linger D       keep serving for D after the run completes (so a
+//	                     scraper can read the final totals before exit)
+//
+// Register with AddFlags, call Start after flag.Parse (nil Server when
+// -http was not given), and defer Close — Close blocks for the linger
+// duration before stopping the listener.
+type Flags struct {
+	Addr   string
+	Linger time.Duration
+}
+
+// AddFlags registers the live flags on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Addr, "http", "", "host:port for the live introspection endpoint (/metrics, /runs, /debug/pprof)")
+	fs.DurationVar(&f.Linger, "http-linger", 0, "keep the -http endpoint up this long after the run ends")
+	return f
+}
+
+// Start opens the server when -http was given; a nil, nil return means the
+// endpoint is off. Errors are usage errors (bad address) — print and exit 2.
+func (f *Flags) Start() (*Server, error) {
+	if f.Addr == "" {
+		return nil, nil
+	}
+	srv := NewServer(nil, 0)
+	if err := srv.Start(f.Addr); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "live: introspection at http://%s/metrics\n", srv.Addr())
+	return srv, nil
+}
+
+// Close lingers (when -http-linger was given) and stops srv. Safe on a nil
+// server, so callers can defer it unconditionally.
+func (f *Flags) Close(srv *Server) error {
+	if srv == nil {
+		return nil
+	}
+	if f.Linger > 0 {
+		fmt.Fprintf(os.Stderr, "live: lingering %v at http://%s (final scrape window)\n", f.Linger, srv.Addr())
+		time.Sleep(f.Linger)
+	}
+	return srv.Close()
+}

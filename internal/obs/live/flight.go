@@ -1,0 +1,229 @@
+package live
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"graphxmt/internal/obs"
+)
+
+// FlightFileName is the file DumpFlight writes into its target directory —
+// next to the emergency checkpoint on a vertex-program panic, or wherever
+// the SIGQUIT handler points it. A second dump into the same directory
+// overwrites the first: the newest crash context wins.
+const FlightFileName = "flight.jsonl"
+
+// DefaultFlightDepth is the default ring capacity in supersteps.
+const DefaultFlightDepth = 32
+
+// FlightRecorder is an obs.Sink that keeps the last N supersteps' spans and
+// counters in a fixed-size ring — cheap enough to leave attached to every
+// checkpointed run — and dumps them as JSONL on demand. The BSP engine
+// invokes DumpFlight (through obs.FindFlightDumper) when a vertex-program
+// panic forces an emergency checkpoint; CLIs invoke it from their SIGQUIT
+// handlers. Unlike other sinks it locks internally, because DumpFlight runs
+// on the failing goroutine or a signal goroutine while the run's driving
+// goroutine may still be feeding it.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	depth   int
+	label   string
+	workers int
+	pending []obs.Span  // spans of the superstep whose Step event hasn't arrived
+	ring    []flightRec // completed supersteps, oldest first
+	dropped int64       // supersteps pushed out of the ring
+}
+
+type flightRec struct {
+	label string
+	stats obs.StepStats
+	spans []obs.Span
+}
+
+// NewFlightRecorder returns a recorder keeping the last depth supersteps
+// (depth <= 0 selects DefaultFlightDepth).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{depth: depth}
+}
+
+// RunStart implements obs.Sink. The ring persists across runs — after a
+// crash early in run k, the tail of run k-1 is still context worth having.
+func (f *FlightRecorder) RunStart(info obs.RunInfo) {
+	f.mu.Lock()
+	f.label, f.workers = info.Label, info.Workers
+	f.pending = f.pending[:0]
+	f.mu.Unlock()
+}
+
+// Span implements obs.Sink. A span whose Step event already passed (the
+// checkpoint span arrives after its superstep's counters) is attached to
+// the completed ring entry; anything else waits in pending.
+func (f *FlightRecorder) Span(s obs.Span) {
+	s.WorkerBusy = append([]time.Duration(nil), s.WorkerBusy...)
+	f.mu.Lock()
+	if n := len(f.ring); n > 0 && f.ring[n-1].stats.Step == s.Step {
+		f.ring[n-1].spans = append(f.ring[n-1].spans, s)
+	} else {
+		f.pending = append(f.pending, s)
+	}
+	f.mu.Unlock()
+}
+
+// Step implements obs.Sink: seals the in-flight superstep into the ring.
+func (f *FlightRecorder) Step(st obs.StepStats) {
+	f.mu.Lock()
+	rec := flightRec{label: f.label, stats: st, spans: f.pending}
+	f.pending = nil
+	if len(f.ring) == f.depth {
+		copy(f.ring, f.ring[1:])
+		f.ring[len(f.ring)-1] = rec
+		f.dropped++
+	} else {
+		f.ring = append(f.ring, rec)
+	}
+	f.mu.Unlock()
+}
+
+// Mem implements obs.Sink (samples are not retained — the flight ring is
+// about superstep structure, not heap history).
+func (f *FlightRecorder) Mem(obs.MemSample) {}
+
+// RunEnd implements obs.Sink.
+func (f *FlightRecorder) RunEnd(time.Duration) {}
+
+// Steps returns the superstep indices currently in the ring, oldest first.
+func (f *FlightRecorder) Steps() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, len(f.ring))
+	for i, r := range f.ring {
+		out[i] = r.stats.Step
+	}
+	return out
+}
+
+// DumpFlight implements obs.FlightDumper: writes the ring as JSONL to
+// dir/flight.jsonl and returns the path. The first line is a header
+// carrying the cause and ring shape; each following line is one superstep
+// ("ev":"step") with its counters and spans, field names matching the
+// obs JSONL sink (docs/OBSERVABILITY.md documents the schema). Spans still
+// pending (the failing superstep's, when its Step event never arrived) are
+// dumped as a final partial record.
+func (f *FlightRecorder) DumpFlight(dir, cause string) (string, error) {
+	f.mu.Lock()
+	recs := append([]flightRec(nil), f.ring...)
+	if len(f.pending) > 0 {
+		recs = append(recs, flightRec{
+			label: f.label,
+			stats: obs.StepStats{Step: f.pending[len(f.pending)-1].Step},
+			spans: append([]obs.Span(nil), f.pending...),
+		})
+	}
+	label, workers, dropped := f.label, f.workers, f.dropped
+	f.mu.Unlock()
+
+	path := filepath.Join(dir, FlightFileName)
+	file, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("live: flight dump: %w", err)
+	}
+	bw := bufio.NewWriter(file)
+	enc := json.NewEncoder(bw)
+	werr := enc.Encode(flightHeaderJSON{
+		Ev: "flight", Cause: cause, Label: label, Workers: workers,
+		Steps: len(recs), Depth: f.depth, Dropped: dropped,
+	})
+	for _, r := range recs {
+		if werr != nil {
+			break
+		}
+		werr = enc.Encode(flightStepJSON{
+			Ev:        "step",
+			Step:      r.stats.Step,
+			Label:     r.label,
+			Active:    r.stats.Active,
+			Sent:      r.stats.Sent,
+			Physical:  r.stats.SentPhysical,
+			Delivered: r.stats.Delivered,
+			Received:  r.stats.Received,
+			Scratch:   r.stats.ScratchBytes,
+			Direction: r.stats.Direction,
+			Frontier:  r.stats.FrontierEdges,
+			Unvisited: r.stats.UnvisitedEdges,
+			Spans:     flightSpans(r.spans),
+		})
+	}
+	if ferr := bw.Flush(); werr == nil {
+		werr = ferr
+	}
+	if cerr := file.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", fmt.Errorf("live: flight dump: %w", werr)
+	}
+	return path, nil
+}
+
+type flightHeaderJSON struct {
+	Ev      string `json:"ev"`
+	Cause   string `json:"cause"`
+	Label   string `json:"label,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Steps   int    `json:"steps"`
+	Depth   int    `json:"depth"`
+	Dropped int64  `json:"dropped,omitempty"`
+}
+
+type flightStepJSON struct {
+	Ev        string           `json:"ev"`
+	Step      int              `json:"step"`
+	Label     string           `json:"label,omitempty"`
+	Active    int64            `json:"active"`
+	Sent      int64            `json:"sent"`
+	Physical  int64            `json:"msgs_physical"`
+	Delivered int64            `json:"delivered"`
+	Received  int64            `json:"received"`
+	Scratch   int64            `json:"scratch_bytes"`
+	Direction string           `json:"direction,omitempty"`
+	Frontier  int64            `json:"frontier_edges,omitempty"`
+	Unvisited int64            `json:"unvisited_edges,omitempty"`
+	Spans     []flightSpanJSON `json:"spans"`
+}
+
+type flightSpanJSON struct {
+	Name    string    `json:"name"`
+	Step    int       `json:"step"`
+	StartUs float64   `json:"start_us"`
+	DurUs   float64   `json:"dur_us"`
+	BusyUs  []float64 `json:"worker_busy_us,omitempty"`
+}
+
+func flightSpans(spans []obs.Span) []flightSpanJSON {
+	out := make([]flightSpanJSON, len(spans))
+	for i, s := range spans {
+		var busy []float64
+		if len(s.WorkerBusy) > 0 {
+			busy = make([]float64, len(s.WorkerBusy))
+			for w, b := range s.WorkerBusy {
+				busy[w] = float64(b.Nanoseconds()) / 1e3
+			}
+		}
+		out[i] = flightSpanJSON{
+			Name:    s.Name,
+			Step:    s.Step,
+			StartUs: float64(s.Start.Nanoseconds()) / 1e3,
+			DurUs:   float64(s.Dur.Nanoseconds()) / 1e3,
+			BusyUs:  busy,
+		}
+	}
+	return out
+}

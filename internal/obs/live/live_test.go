@@ -1,0 +1,186 @@
+package live_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"graphxmt/internal/bspalg"
+	"graphxmt/internal/core"
+	"graphxmt/internal/gen"
+	"graphxmt/internal/metrics"
+	"graphxmt/internal/obs"
+	"graphxmt/internal/obs/live"
+)
+
+// TestServerEndToEnd attaches a started Server to a real BSP run and reads
+// every endpoint over HTTP: /metrics must be well-formed Prometheus text
+// whose logical counters reconcile exactly with the Result, /runs and
+// /runs/current must describe the run step by step, and /debug/pprof must
+// answer.
+func TestServerEndToEnd(t *testing.T) {
+	g, err := gen.RMAT(gen.RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := live.NewServer(nil, 0)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	res, err := core.Run(core.Config{
+		Graph:   g,
+		Program: bspalg.BFSProgram{Source: 0},
+		Obs:     srv.Sink(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// /metrics: well-formed exposition, counters reconcile with Result.
+	body := httpGet(t, base+"/metrics")
+	if err := metrics.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics not well-formed: %v\n%s", err, body)
+	}
+	var wantSent int64
+	for _, s := range res.MessagesPerStep {
+		wantSent += s
+	}
+	wantLine := fmt.Sprintf("graphxmt_messages_logical_total %d", wantSent)
+	if !strings.Contains(body, wantLine) {
+		t.Fatalf("/metrics missing %q:\n%s", wantLine, body)
+	}
+	if !strings.Contains(body, fmt.Sprintf("graphxmt_supersteps_total %d", res.Supersteps)) {
+		t.Fatalf("/metrics superstep total does not match Result.Supersteps = %d", res.Supersteps)
+	}
+	for _, fam := range []string{
+		"graphxmt_superstep_wall_us_bucket",
+		`graphxmt_phase_us_bucket{phase="compute",le=`,
+		"graphxmt_runs_completed_total 1",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("/metrics missing %q", fam)
+		}
+	}
+
+	// /runs/current: the completed run, step by step.
+	var cur struct {
+		Label     string  `json:"label"`
+		Superstep int     `json:"superstep"`
+		Done      bool    `json:"done"`
+		WallUs    float64 `json:"wall_us"`
+		Steps     []struct {
+			Step int   `json:"step"`
+			Sent int64 `json:"sent"`
+		} `json:"steps"`
+	}
+	jsonGet(t, base+"/runs/current", &cur)
+	if cur.Label != "bsp" || !cur.Done || cur.WallUs <= 0 {
+		t.Fatalf("/runs/current = %+v; want done bsp run", cur)
+	}
+	if len(cur.Steps) != res.Supersteps {
+		t.Fatalf("/runs/current has %d steps, Result has %d", len(cur.Steps), res.Supersteps)
+	}
+	for i, s := range cur.Steps {
+		if s.Step != i || s.Sent != res.MessagesPerStep[i] {
+			t.Fatalf("step %d: /runs/current sent=%d, Result sent=%d", i, s.Sent, res.MessagesPerStep[i])
+		}
+	}
+
+	// /runs: wraps the same run.
+	var runs struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	jsonGet(t, base+"/runs", &runs)
+	if len(runs.Runs) != 1 {
+		t.Fatalf("/runs has %d runs, want 1", len(runs.Runs))
+	}
+
+	// /debug/pprof: the index answers.
+	if got := httpGet(t, base+"/debug/pprof/"); !strings.Contains(got, "profiles") {
+		t.Fatalf("/debug/pprof/ unexpected body:\n%.200s", got)
+	}
+
+	// 404 semantics: unknown runs path under a fresh server.
+	fresh := live.NewServer(nil, 0)
+	if err := fresh.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	resp, err := http.Get("http://" + fresh.Addr() + "/runs/current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/runs/current before any run: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFlightRingDepth drives more supersteps through the recorder than its
+// depth and checks the ring keeps exactly the most recent ones.
+func TestFlightRingDepth(t *testing.T) {
+	fr := live.NewFlightRecorder(8)
+	fr.RunStart(obs.RunInfo{Label: "synthetic", Workers: 2})
+	for s := 0; s < 20; s++ {
+		fr.Span(obs.Span{Name: "compute", Step: s, Dur: time.Microsecond})
+		fr.Step(obs.StepStats{Step: s, Active: int64(s)})
+	}
+	steps := fr.Steps()
+	if len(steps) != 8 {
+		t.Fatalf("ring holds %d steps, want 8", len(steps))
+	}
+	for i, s := range steps {
+		if s != 12+i {
+			t.Fatalf("ring = %v; want supersteps 12..19 oldest first", steps)
+		}
+	}
+	path, err := fr.DumpFlight(t.TempDir(), "synthetic drill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := readFile(t, path)
+	if !strings.Contains(dump, `"cause":"synthetic drill"`) || !strings.Contains(dump, `"dropped":12`) {
+		t.Fatalf("dump missing cause/dropped:\n%s", dump)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func jsonGet(t *testing.T, url string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(httpGet(t, url)), v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"graphxmt/internal/metrics"
 )
 
 // Report is the in-memory aggregating sink: it folds the event stream into
@@ -237,6 +239,15 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 		fmt.Fprintf(w, "chunk imbalance (max/mean):%s\n", imb)
 	}
 
+	// Superstep latency percentiles, estimated through the same log2
+	// histograms the live /metrics endpoint exposes: superstep wall (the
+	// engine phases; the checkpoint span is I/O, not superstep work) and
+	// the deliver phase alone, the superstep-boundary cost the paper's
+	// message-volume figures are about.
+	if line := r.latencyLine(); line != "" {
+		fmt.Fprintf(w, "latency: %s\n", line)
+	}
+
 	// Worker utilization: busy folded from par's chunk timing, divided by
 	// run wall time. Low numbers on a multi-worker run mean the phases ran
 	// sequential paths or the workers starved.
@@ -286,6 +297,48 @@ func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir bool) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// latencyLine renders run-level p50/p90/p99 for superstep wall and the
+// deliver phase, or "" when no superstep carried phase timing. The
+// estimates go through metrics.Histogram (log2 buckets, interpolated), so
+// the report footer and a /metrics scrape of the same run quote the same
+// numbers.
+func (r *reportRun) latencyLine() string {
+	stepWall := metrics.NewHistogram(metrics.DurationBounds)
+	deliver := metrics.NewHistogram(metrics.DurationBounds)
+	for _, row := range r.steps {
+		if row.step < 0 {
+			continue
+		}
+		var wall time.Duration
+		for name, d := range row.phases {
+			if name == "checkpoint" {
+				continue
+			}
+			wall += d
+		}
+		if wall > 0 {
+			stepWall.Observe(wall.Microseconds())
+		}
+		if d, ok := row.phases["deliver"]; ok {
+			deliver.Observe(d.Microseconds())
+		}
+	}
+	out := ""
+	for _, h := range []struct {
+		name string
+		hist *metrics.Histogram
+	}{{"superstep", stepWall}, {"deliver", deliver}} {
+		if h.hist.Count() == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %s p50/p90/p99 %s/%s/%s", h.name,
+			fmtDur(time.Duration(h.hist.Quantile(0.5))*time.Microsecond),
+			fmtDur(time.Duration(h.hist.Quantile(0.9))*time.Microsecond),
+			fmtDur(time.Duration(h.hist.Quantile(0.99))*time.Microsecond))
+	}
+	return out
 }
 
 // imbalanceLine renders the per-phase max/mean chunk factors in phase
