@@ -7,7 +7,8 @@
 //	bspgraph -g graph.gxmt -alg cc|bfs|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
 //	         [-src -1] [-procs 128] [-rounds 30] [-workers N]
 //	         [-chunking degree|fixed] [-direction auto|push|pull]
-//	         [-checkpoint-dir dir] [-ckpt-every 1] [-ckpt-keep 0] [-resume ckpt]
+//	         [-checkpoint-dir dir] [-ckpt-every 1] [-ckpt-keep 0] [-resume ckpt|auto]
+//	         [-retries N] [-step-timeout 0] [-run-timeout 0]
 //	         [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
 //	         [-http host:port] [-http-linger 0s]
 //
@@ -27,12 +28,23 @@
 // With -checkpoint-dir the engine snapshots its state at superstep
 // boundaries; on SIGINT/SIGTERM it finishes the current superstep, writes
 // a final checkpoint, and exits with status 3. Pass the printed checkpoint
-// to -resume to continue the same run bit-identically (see
-// docs/ROBUSTNESS.md). Multi-run algorithms (bc, diameter, tc-streaming)
-// do not support checkpointing.
+// to -resume to continue the same run bit-identically, or pass
+// "-resume auto" (alias "latest") to resume from the newest *valid*
+// checkpoint in -checkpoint-dir — damaged snapshots are skipped and
+// reported (see docs/ROBUSTNESS.md). Multi-run algorithms (bc, diameter,
+// tc-streaming) do not support checkpointing.
 //
-// Exit status: 0 on success, 1 on runtime errors, 2 on usage errors, 3
-// when interrupted by a signal (after writing a checkpoint if enabled).
+// Self-healing knobs: -retries N re-executes a faulting superstep from the
+// last boundary snapshot up to N times (results stay bit-identical to a
+// fault-free run); -step-timeout arms a per-superstep watchdog that dumps
+// the flight recorder and an emergency checkpoint when a superstep stalls;
+// -run-timeout bounds the whole run, finishing the superstep in flight and
+// checkpointing before exiting. All three work on every algorithm,
+// including the multi-run ones.
+//
+// Exit status: 0 on success, 1 on runtime errors (including retry
+// exhaustion and watchdog stalls), 2 on usage errors, 3 when interrupted
+// by a signal or the run deadline (after writing a checkpoint if enabled).
 package main
 
 import (
@@ -66,7 +78,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "write superstep-boundary checkpoints into this directory")
 	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint every N superstep boundaries")
 	ckptKeep := flag.Int("ckpt-keep", 0, "keep only the newest K periodic checkpoints (0 = all)")
-	resume := flag.String("resume", "", "resume from this checkpoint file")
+	resume := flag.String("resume", "", "resume from this checkpoint file, or \"auto\"/\"latest\" for the newest valid checkpoint in -checkpoint-dir")
+	retries := flag.Int("retries", 0, "re-execute a faulting superstep up to N times from the last boundary snapshot (0 = off)")
+	stepTimeout := flag.Duration("step-timeout", 0, "per-superstep watchdog deadline, e.g. 30s (0 = off)")
+	runTimeout := flag.Duration("run-timeout", 0, "whole-run deadline; finishes the superstep in flight and checkpoints (0 = off)")
 	faultPlan := flag.String("fault-plan", "", "fault-injection plan, e.g. \"kill@2;panic@3:17\" (testing)")
 	chunking := flag.String("chunking", "degree", "sweep chunk schedule: degree (edge-work weighted) or fixed (vertex count)")
 	direction := flag.String("direction", "auto", "superstep direction: auto (adaptive push/pull), push (forced scatter), pull (pull every eligible superstep)")
@@ -92,6 +107,25 @@ func main() {
 	if *ckptKeep < 0 {
 		usage("-ckpt-keep must be >= 0, got %d", *ckptKeep)
 	}
+	// The supervision knobs default to 0 = disabled; an *explicit* zero or
+	// negative value is a contradiction ("supervise this, never") and is
+	// rejected rather than silently ignored.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "retries":
+			if *retries <= 0 {
+				usage("-retries must be > 0, got %d", *retries)
+			}
+		case "step-timeout":
+			if *stepTimeout <= 0 {
+				usage("-step-timeout must be > 0, got %v", *stepTimeout)
+			}
+		case "run-timeout":
+			if *runTimeout <= 0 {
+				usage("-run-timeout must be > 0, got %v", *runTimeout)
+			}
+		}
+	})
 	var sched core.ChunkSchedule
 	switch strings.TrimSpace(*chunking) {
 	case "degree":
@@ -106,6 +140,15 @@ func main() {
 		usage("-direction must be auto, push or pull, got %q", *direction)
 	}
 	name := strings.TrimSpace(*alg)
+	resumeLatest := false
+	switch strings.TrimSpace(*resume) {
+	case "auto", "latest":
+		resumeLatest = true
+		*resume = ""
+		if *ckptDir == "" {
+			usage("-resume auto needs -checkpoint-dir to know where to look")
+		}
+	}
 	checkpointed := *ckptDir != "" || *resume != ""
 	switch name {
 	case "bc", "diameter", "tc-streaming":
@@ -118,8 +161,8 @@ func main() {
 	if err != nil {
 		usage("%v", err)
 	}
-	if (len(plan.KillAt) > 0 || len(plan.FailWriteAt) > 0) && *ckptDir == "" {
-		usage("-fault-plan kill/failwrite directives need -checkpoint-dir")
+	if (len(plan.KillAt) > 0 || len(plan.FailWriteAt) > 0 || len(plan.ENOSPCAt) > 0 || len(plan.TornWriteAt) > 0) && *ckptDir == "" {
+		usage("-fault-plan kill/failwrite/enospc/tornwrite directives need -checkpoint-dir")
 	}
 
 	sess, err := obsFlags.Start()
@@ -204,7 +247,19 @@ func main() {
 	if *resume != "" {
 		opts = append(opts, core.WithResume(*resume))
 	}
-	if len(plan.PanicAt) > 0 {
+	if resumeLatest {
+		opts = append(opts, core.WithResumeLatest())
+	}
+	if *retries > 0 {
+		opts = append(opts, core.WithRetries(*retries))
+	}
+	if *stepTimeout > 0 {
+		opts = append(opts, core.WithStepTimeout(*stepTimeout))
+	}
+	if *runTimeout > 0 {
+		opts = append(opts, core.WithRunTimeout(*runTimeout))
+	}
+	if len(plan.PanicAt) > 0 || len(plan.PanicNAt) > 0 || len(plan.SlowStepAt) > 0 {
 		opts = append(opts, func(cfg *core.Config) {
 			cfg.Program = plan.WrapProgram(cfg.Program)
 		})
@@ -278,11 +333,11 @@ func main() {
 		valid := bspalg.ValidateMIS(g, res.InSet)
 		fmt.Printf("[bsp mis] %d members in %d rounds (valid=%v)\n", members, res.Rounds, valid)
 	case "diameter":
-		d, err := bspalg.ApproxDiameter(g, source, 4, rec)
+		d, err := bspalg.ApproxDiameter(g, source, 4, rec, opts...)
 		exitOn(err)
 		fmt.Printf("[bsp diameter] >= %d (double-sweep from %d)\n", d, source)
 	case "bc":
-		res, err := bspalg.Betweenness(g, bspalg.BetweennessOptions{Samples: 16, Seed: 7}, rec)
+		res, err := bspalg.Betweenness(g, bspalg.BetweennessOptions{Samples: 16, Seed: 7}, rec, opts...)
 		exitOn(err)
 		var max float64
 		var arg int
@@ -339,7 +394,9 @@ func fatal(err error) {
 }
 
 // exitOn reports err and exits: interrupted runs (signal or injected kill)
-// exit 3 after printing the resume command; everything else exits 1.
+// and expired run deadlines exit 3 after printing the resume command;
+// everything else — retry exhaustion, watchdog stalls, program faults —
+// exits 1.
 func exitOn(err error) {
 	if err == nil {
 		return
@@ -354,6 +411,31 @@ func exitOn(err error) {
 				ie.Superstep)
 		}
 		os.Exit(3)
+	}
+	var te *core.TimeoutError
+	if errors.As(err, &te) {
+		fmt.Fprintln(os.Stderr, "bspgraph:", err)
+		if te.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "bspgraph: resume with -resume %s\n", te.CheckpointPath)
+		}
+		if te.FlightRecorderPath != "" {
+			fmt.Fprintf(os.Stderr, "bspgraph: flight recorder: %s\n", te.FlightRecorderPath)
+		}
+		if te.Stalled {
+			os.Exit(1) // a wedged superstep is a failure, not a clean deadline
+		}
+		os.Exit(3)
+	}
+	var re *core.RetryExhaustedError
+	if errors.As(err, &re) {
+		fmt.Fprintln(os.Stderr, "bspgraph:", err)
+		if re.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "bspgraph: emergency checkpoint: resume with -resume %s\n", re.CheckpointPath)
+		}
+		if re.FlightRecorderPath != "" {
+			fmt.Fprintf(os.Stderr, "bspgraph: flight recorder: %s\n", re.FlightRecorderPath)
+		}
+		os.Exit(1)
 	}
 	var pe *core.ProgramError
 	if errors.As(err, &pe) && pe.CheckpointPath != "" {

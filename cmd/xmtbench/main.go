@@ -10,8 +10,13 @@
 //	xmtbench [-exp all|table1|fig1|fig2|fig3|fig4|aux|ablation]
 //	         [-scale 16] [-ef 16] [-seed 1] [-procs 128] [-model analytic|des]
 //	         [-direction auto|push|pull]
+//	         [-retries N] [-step-timeout 0] [-run-timeout 0]
 //	         [-workers N] [-obs-format report|jsonl|chrome] [-obs-out out] [-pprof addr|file]
 //	         [-http host:port] [-http-linger 0s]
+//
+// -retries, -step-timeout and -run-timeout arm the engine's run
+// supervisor on every BSP pass an experiment performs (multi-run
+// experiments thread them through each pass); see docs/ROBUSTNESS.md.
 //
 // The paper's graph is scale 24 / edge factor 16; the default scale 16
 // keeps the triangle-counting experiment laptop-sized (see EXPERIMENTS.md
@@ -43,6 +48,9 @@ func main() {
 	procs := flag.Int("procs", 128, "simulated machine size in processors")
 	model := flag.String("model", "analytic", "machine model: analytic or des")
 	direction := flag.String("direction", "auto", "superstep direction for BSP runs: auto, push or pull")
+	retries := flag.Int("retries", 0, "re-execute a faulting superstep up to N times in every BSP pass (0 = off)")
+	stepTimeout := flag.Duration("step-timeout", 0, "per-superstep watchdog deadline for every BSP pass (0 = off)")
+	runTimeout := flag.Duration("run-timeout", 0, "per-pass engine run deadline (0 = off)")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	liveFlags := live.AddFlags(flag.CommandLine)
@@ -61,6 +69,24 @@ func main() {
 	if !ok {
 		usage("-direction must be auto, push or pull, got %q", *direction)
 	}
+	// Defaults of 0 mean off; an explicit zero or negative value is rejected
+	// rather than silently disabling the supervision the user asked for.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "retries":
+			if *retries <= 0 {
+				usage("-retries must be > 0, got %d", *retries)
+			}
+		case "step-timeout":
+			if *stepTimeout <= 0 {
+				usage("-step-timeout must be > 0, got %v", *stepTimeout)
+			}
+		case "run-timeout":
+			if *runTimeout <= 0 {
+				usage("-run-timeout must be > 0, got %v", *runTimeout)
+			}
+		}
+	})
 	sess, err := obsFlags.Start()
 	if err != nil {
 		usage("%v", err)
@@ -77,11 +103,14 @@ func main() {
 	sess.InstallFactory()
 
 	setup := experiments.Setup{
-		Scale:      *scale,
-		EdgeFactor: *ef,
-		Seed:       *seed,
-		Procs:      *procs,
-		Direction:  dir,
+		Scale:       *scale,
+		EdgeFactor:  *ef,
+		Seed:        *seed,
+		Procs:       *procs,
+		Direction:   dir,
+		Retries:     *retries,
+		StepTimeout: *stepTimeout,
+		RunTimeout:  *runTimeout,
 	}
 	cfg := machine.DefaultConfig()
 	cfg.Procs = *procs

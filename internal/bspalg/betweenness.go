@@ -134,7 +134,11 @@ type BetweennessResult struct {
 }
 
 // Betweenness computes BSP betweenness centrality over unweighted graphs.
-func Betweenness(g *graph.Graph, opt BetweennessOptions, rec *trace.Recorder) (*BetweennessResult, error) {
+// Trailing engine options apply to every pass (both directions of every
+// sampled source) — how callers thread retry and watchdog supervision
+// through a multi-run algorithm. Checkpoint/resume options are not
+// supported here: the passes share no resumable state.
+func Betweenness(g *graph.Graph, opt BetweennessOptions, rec *trace.Recorder, opts ...core.Option) (*BetweennessResult, error) {
 	n := g.NumVertices()
 	res := &BetweennessResult{Score: make([]float64, n)}
 	if n == 0 {
@@ -167,7 +171,11 @@ func Betweenness(g *graph.Graph, opt BetweennessOptions, rec *trace.Recorder) (*
 			sigma[i], delta[i] = 0, 0
 		}
 		fwd := &sigmaProgram{source: s, sigma: sigma}
-		fres, err := core.Run(core.Config{Graph: g, Program: fwd, Recorder: rec})
+		fwdCfg := core.Config{Graph: g, Program: fwd, Recorder: rec}
+		for _, o := range opts {
+			o(&fwdCfg)
+		}
+		fres, err := core.Run(fwdCfg)
 		if err != nil {
 			return nil, fmt.Errorf("bspalg: betweenness forward pass: %w", err)
 		}
@@ -180,12 +188,16 @@ func Betweenness(g *graph.Graph, opt BetweennessOptions, rec *trace.Recorder) (*
 			}
 		}
 		bwd := &deltaProgram{dist: fres.States, sigma: sigma, delta: delta, maxLevel: maxLevel}
-		bres, err := core.Run(core.Config{
+		bwdCfg := core.Config{
 			Graph:         g,
 			Program:       bwd,
 			Recorder:      rec,
 			MaxSupersteps: int(maxLevel) + 3,
-		})
+		}
+		for _, o := range opts {
+			o(&bwdCfg)
+		}
+		bres, err := core.Run(bwdCfg)
 		if err != nil {
 			return nil, fmt.Errorf("bspalg: betweenness backward pass: %w", err)
 		}

@@ -56,6 +56,13 @@ type Hooks struct {
 	// behave as if it received a termination signal at that boundary: it
 	// writes a checkpoint and returns InterruptedError.
 	Kill func(step int64) bool
+	// TornWrite, when non-nil and returning true for a step, makes
+	// WriteFile bypass its temp+rename protocol for that step's
+	// checkpoint: a truncated payload is written directly to the final
+	// name and reported as success — the shape of a crash mid-write on a
+	// filesystem without atomic rename. The damage surfaces at resume,
+	// where the fallback chain must skip the torn file.
+	TornWrite func(step int64) bool
 }
 
 // Fingerprint identifies the configuration a checkpoint was taken under.
@@ -93,6 +100,12 @@ type Fingerprint struct {
 	// only resume under the mode it started with; v1-v3 checkpoints decode
 	// as "auto", the only behavior that existed then.
 	Direction string
+	// Retries is the run's Config.MaxRetries bound. The retry loop
+	// re-executes a faulting superstep from the boundary snapshot, so the
+	// retry budget shapes which faults a run survives; a resumed run must
+	// keep the bound it started with for Result.RetriesPerStep to stay
+	// comparable. v1-v4 checkpoints decode as 0 (retry did not exist).
+	Retries int64
 }
 
 // Check compares fp (from a checkpoint) against want (the resuming run)
@@ -114,6 +127,7 @@ func (fp Fingerprint) Check(want Fingerprint) error {
 		{"direction", fp.Direction, want.Direction},
 		{"max supersteps", fmt.Sprint(fp.MaxSupersteps), fmt.Sprint(want.MaxSupersteps)},
 		{"max messages", fmt.Sprint(fp.MaxMessages), fmt.Sprint(want.MaxMessages)},
+		{"max retries", fmt.Sprint(fp.Retries), fmt.Sprint(want.Retries)},
 		{"cost schedule", fmt.Sprintf("%08x", fp.CostsCRC), fmt.Sprintf("%08x", want.CostsCRC)},
 	}
 	for _, c := range cs {
@@ -170,6 +184,10 @@ type Snapshot struct {
 	// empty otherwise (and for v1-v3 checkpoints).
 	Directions []int64
 	Visited    []bool
+	// RetriesPerStep is the per-superstep retry count (format v5): one
+	// entry per completed superstep (length Step+1) when the run's retry
+	// supervisor was active, empty otherwise (and for v1-v4 checkpoints).
+	RetriesPerStep []int64
 	// Aggregates and PrevAggregates (the Pregel previous-superstep view),
 	// sorted by name.
 	Aggregates     []Aggregate

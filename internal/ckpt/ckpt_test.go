@@ -37,6 +37,7 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 			MaxMessages:   int64(rng.Intn(1 << 30)),
 			CostsCRC:      rng.Uint32(),
 			Direction:     []string{"auto", "push", "pull"}[rng.Intn(3)],
+			Retries:       int64(rng.Intn(4)),
 		},
 		Step:   step,
 		States: make([]int64, n),
@@ -89,6 +90,13 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 			s.Visited[i] = rng.Intn(2) == 0
 		}
 	}
+	if rng.Intn(2) == 0 {
+		// Retry-supervisor state (v5): one retry count per completed
+		// superstep.
+		for i := int64(0); i <= step; i++ {
+			s.RetriesPerStep = append(s.RetriesPerStep, int64(rng.Intn(3)))
+		}
+	}
 	for i, k := 0, rng.Intn(3); i < k; i++ {
 		s.Aggregates = append(s.Aggregates, ckpt.Aggregate{
 			Name: "agg" + string(rune('a'+i)), Value: rng.Int63n(1 << 40), Seeded: rng.Intn(2) == 0,
@@ -130,6 +138,9 @@ func setStep(s *ckpt.Snapshot, step int64) {
 			s.Directions = append(s.Directions, 1)
 		}
 		s.Directions = s.Directions[:step+1]
+	}
+	if len(s.RetriesPerStep) > 0 {
+		s.RetriesPerStep = resize(s.RetriesPerStep)
 	}
 }
 
@@ -429,8 +440,11 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 	schedLen := 4 + len(s.FP.Schedule)
 	dirStrOff := schedOff + schedLen
 	dirStrLen := 4 + len(s.FP.Direction)
+	// FP.Retries (v5) sits after the Direction string.
+	retryFPOff := dirStrOff + dirStrLen
+	const retryFPLen = 8
 	// Broadcast arrays sit after MsgVal: three length-prefixed int64 slices.
-	bcastOff := dirStrOff + dirStrLen +
+	bcastOff := retryFPOff + retryFPLen +
 		8 + 8 + 4 + // MaxSupersteps, MaxMessages, CostsCRC
 		8 + 8 + // Step, Live
 		8 + 8*len(s.States) +
@@ -444,12 +458,21 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 		8 + 8*len(s.DeliveredPerStep)
 	dirArrLen := 8 + 8*len(s.Directions) +
 		8 + len(s.Visited)
+	// RetriesPerStep (v5) sits after the Visited bitmap.
+	retryArrOff := dirArrOff + dirArrLen
+	retryArrLen := 8 + 8*len(s.RetriesPerStep)
 
-	out = append(out[:dirArrOff], out[dirArrOff+dirArrLen:]...)
+	out = append(out[:retryArrOff], out[retryArrOff+retryArrLen:]...)
+	if ver < 4 {
+		out = append(out[:dirArrOff], out[dirArrOff+dirArrLen:]...)
+	}
 	if ver < 3 {
 		out = append(out[:bcastOff], out[bcastOff+bcastLen:]...)
 	}
-	out = append(out[:dirStrOff], out[dirStrOff+dirStrLen:]...)
+	out = append(out[:retryFPOff], out[retryFPOff+retryFPLen:]...)
+	if ver < 4 {
+		out = append(out[:dirStrOff], out[dirStrOff+dirStrLen:]...)
+	}
 	if ver < 2 {
 		out = append(out[:schedOff], out[schedOff+schedLen:]...)
 	}
@@ -491,8 +514,10 @@ func TestLoadVersion1DefaultsSchedule(t *testing.T) {
 	want := *s
 	want.FP.Schedule = "fixed"
 	want.FP.Direction = "auto"
+	want.FP.Retries = 0
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
 	want.Directions, want.Visited = nil, nil
+	want.RetriesPerStep = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v1 round trip mismatch beyond Schedule:\nwant %+v\ngot  %+v", &want, got)
 	}
@@ -526,8 +551,10 @@ func TestLoadVersion2NoBroadcasts(t *testing.T) {
 	}
 	want := *s
 	want.FP.Direction = "auto"
+	want.FP.Retries = 0
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
 	want.Directions, want.Visited = nil, nil
+	want.RetriesPerStep = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v2 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
@@ -562,8 +589,43 @@ func TestLoadVersion3NoDirection(t *testing.T) {
 	}
 	want := *s
 	want.FP.Direction = "auto"
+	want.FP.Retries = 0
 	want.Directions, want.Visited = nil, nil
+	want.RetriesPerStep = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v3 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
+	}
+}
+
+// TestLoadVersion4NoRetries: a version-4 checkpoint (written before the
+// run supervisor existed) must load with Retries 0 and a nil
+// RetriesPerStep, with direction state and broadcast records intact.
+func TestLoadVersion4NoRetries(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	s := randSnapshot(rng)
+	dir := t.TempDir()
+	path, err := ckpt.WriteFile(dir, s, ckpt.FileName(s.Step), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4 := spliceVersion(t, s, data, 4)
+
+	v4path := filepath.Join(dir, "v4"+ckpt.Ext)
+	if err := os.WriteFile(v4path, v4, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(v4path)
+	if err != nil {
+		t.Fatalf("loading version-4 checkpoint: %v", err)
+	}
+	want := *s
+	want.FP.Retries = 0
+	want.RetriesPerStep = nil
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("v4 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
 }

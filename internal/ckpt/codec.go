@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -37,9 +38,14 @@ import (
 //	    gains the per-superstep decision sequence Directions plus the
 //	    heuristic's Visited bitmap (encoded after DeliveredPerStep; empty
 //	    in older checkpoints and when the direction layer was inactive).
+//	5 — run supervisor: Fingerprint gains Retries (Config.MaxRetries,
+//	    encoded after Direction; older checkpoints decode as 0) and
+//	    Snapshot gains RetriesPerStep, the per-superstep retry counts
+//	    (encoded after Visited; empty in older checkpoints and when the
+//	    retry supervisor was inactive).
 const (
 	magic      = "GXMTCKP1"
-	version    = 4
+	version    = 5
 	minVersion = 1
 
 	// Ext is the checkpoint file extension.
@@ -252,6 +258,7 @@ func Encode(s *Snapshot) []byte {
 	e.boolean(s.FP.Sparse)
 	e.str(s.FP.Schedule)
 	e.str(s.FP.Direction)
+	e.i64(s.FP.Retries)
 	e.i64(s.FP.MaxSupersteps)
 	e.i64(s.FP.MaxMessages)
 	e.u32(s.FP.CostsCRC)
@@ -270,6 +277,7 @@ func Encode(s *Snapshot) []byte {
 	e.int64s(s.DeliveredPerStep)
 	e.int64s(s.Directions)
 	e.bools(s.Visited)
+	e.int64s(s.RetriesPerStep)
 
 	encAggs := func(aggs []Aggregate) {
 		e.i64(int64(len(aggs)))
@@ -332,6 +340,9 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 		// direction "auto".
 		s.FP.Direction = "auto"
 	}
+	if ver >= 5 {
+		s.FP.Retries = d.i64()
+	}
 	s.FP.MaxSupersteps = d.i64()
 	s.FP.MaxMessages = d.i64()
 	s.FP.CostsCRC = d.u32()
@@ -353,6 +364,9 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	if ver >= 4 {
 		s.Directions = d.int64s()
 		s.Visited = d.bools()
+	}
+	if ver >= 5 {
+		s.RetriesPerStep = d.int64s()
 	}
 
 	decAggs := func() []Aggregate {
@@ -426,6 +440,18 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	if int64(len(s.ActivePerStep)) != want || int64(len(s.MessagesPerStep)) != want || int64(len(s.DeliveredPerStep)) != want {
 		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("per-step counters sized %d/%d/%d, want %d (step %d)", len(s.ActivePerStep), len(s.MessagesPerStep), len(s.DeliveredPerStep), want, s.Step)}
 	}
+	// Retry counts are empty (supervisor inactive) or cover every
+	// completed superstep with non-negative values.
+	if len(s.RetriesPerStep) > 0 {
+		if int64(len(s.RetriesPerStep)) != want {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("retry counters sized %d, want %d (step %d)", len(s.RetriesPerStep), want, s.Step)}
+		}
+		for i, v := range s.RetriesPerStep {
+			if v < 0 {
+				return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("retry counter %d is negative (%d)", i, v)}
+			}
+		}
+	}
 	// Direction-layer arrays are present together or not at all; when
 	// present, the decision sequence covers every completed superstep with
 	// push/pull values and the visited bitmap is per-vertex.
@@ -478,6 +504,9 @@ func WriteFile(dir string, s *Snapshot, name string, hooks *Hooks) (string, erro
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", &WriteError{Path: final, Err: err}
 	}
+	if hooks != nil && hooks.TornWrite != nil && hooks.TornWrite(s.Step) {
+		return tornWrite(final, s)
+	}
 	f, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
 		return "", &WriteError{Path: final, Err: err}
@@ -512,6 +541,23 @@ func WriteFile(dir string, s *Snapshot, name string, hooks *Hooks) (string, erro
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
+		return "", &WriteError{Path: final, Err: err}
+	}
+	return final, nil
+}
+
+// tornWrite simulates a crash mid-write on a filesystem without atomic
+// rename (Hooks.TornWrite): a valid header followed by half the payload
+// lands directly at the final name, and the write reports success so the
+// run carries on oblivious. A later Load of the file fails its CRC check.
+func tornWrite(final string, s *Snapshot) (string, error) {
+	payload := Encode(s)
+	var hdr [16]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, castagnoli))
+	torn := append(hdr[:], payload[:len(payload)/2]...)
+	if err := os.WriteFile(final, torn, 0o644); err != nil {
 		return "", &WriteError{Path: final, Err: err}
 	}
 	return final, nil
@@ -563,8 +609,101 @@ func LatestPath(dir string) (string, error) {
 	return best, nil
 }
 
+// Verify cheaply checks the structural integrity of the checkpoint at
+// path: header shape, magic, known version, and payload CRC. It does not
+// decode the payload or compare fingerprints — a nil return means the
+// bytes on disk are the bytes that were written, which is the guarantee
+// Prune and the fallback chain need.
+func Verify(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 16 {
+		return &CorruptError{Path: path, Reason: fmt.Sprintf("file is %d bytes, shorter than the %d-byte header", len(data), 16)}
+	}
+	if string(data[:8]) != magic {
+		return &CorruptError{Path: path, Reason: fmt.Sprintf("bad magic %q", data[:8])}
+	}
+	v := binary.LittleEndian.Uint32(data[8:12])
+	if v < minVersion || v > version {
+		return &VersionError{Path: path, Version: v}
+	}
+	want := binary.LittleEndian.Uint32(data[12:16])
+	if got := crc32.Checksum(data[16:], castagnoli); got != want {
+		return &CorruptError{Path: path, Reason: fmt.Sprintf("checksum mismatch: header %08x, payload %08x", want, got)}
+	}
+	return nil
+}
+
+// NoValidCheckpointError reports that ResumeLatestValid walked every
+// periodic checkpoint in a directory without finding one that loads.
+type NoValidCheckpointError struct {
+	// Dir is the directory that was searched.
+	Dir string
+	// Skipped is the number of damaged checkpoints passed over.
+	Skipped int
+}
+
+func (e *NoValidCheckpointError) Error() string {
+	if e.Skipped == 0 {
+		return fmt.Sprintf("ckpt: no periodic checkpoints in %s", e.Dir)
+	}
+	return fmt.Sprintf("ckpt: no valid periodic checkpoint in %s (%d damaged snapshots skipped)", e.Dir, e.Skipped)
+}
+
+// ResumeLatestValid walks dir's periodic checkpoints newest-first and
+// returns the first one that loads and matches the fingerprint, along
+// with its path. Structurally damaged snapshots — CorruptError (torn or
+// bit-flipped files, truncation) and VersionError — are skipped, each
+// reported through onSkip (may be nil), so a run whose newest checkpoint
+// was lost mid-write falls back to the one before it. A fingerprint
+// mismatch is a hard error: the snapshot is intact, it just belongs to a
+// different run, and silently skipping it would resume wildly stale
+// state. When no checkpoint survives the walk the error is a
+// *NoValidCheckpointError.
+func ResumeLatestValid(dir string, want Fingerprint, onSkip func(path string, err error)) (*Snapshot, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var steps []int64
+	for _, e := range entries {
+		var step int64
+		if n, err := fmt.Sscanf(e.Name(), "ckpt-%d"+Ext, &step); err == nil && n == 1 {
+			steps = append(steps, step)
+		}
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] > steps[j] })
+	skipped := 0
+	for _, step := range steps {
+		path := filepath.Join(dir, FileName(step))
+		s, err := Load(path)
+		if err != nil {
+			var ce *CorruptError
+			var ve *VersionError
+			if errors.As(err, &ce) || errors.As(err, &ve) {
+				skipped++
+				if onSkip != nil {
+					onSkip(path, err)
+				}
+				continue
+			}
+			return nil, "", err
+		}
+		if err := s.FP.Check(want); err != nil {
+			return nil, "", err
+		}
+		return s, path, nil
+	}
+	return nil, "", &NoValidCheckpointError{Dir: dir, Skipped: skipped}
+}
+
 // Prune removes all but the newest keep periodic checkpoints from dir.
-// keep <= 0 keeps everything. Emergency checkpoints are never removed.
+// keep <= 0 keeps everything. Emergency checkpoints are never removed,
+// and neither is the newest *valid* periodic checkpoint: when the most
+// recent write was torn or bit-flipped, the retention window must not
+// age out the snapshot the fallback chain will actually resume from.
 func Prune(dir string, keep int) error {
 	if keep <= 0 {
 		return nil
@@ -584,7 +723,20 @@ func Prune(dir string, keep int) error {
 		return nil
 	}
 	sort.Slice(steps, func(i, j int) bool { return steps[i] > steps[j] })
+	// Find the newest structurally valid snapshot. Only checkpoints inside
+	// the doomed tail need verification once a valid one is known to sit
+	// inside the retention window.
+	newestValid := int64(-1)
+	for _, step := range steps {
+		if Verify(filepath.Join(dir, FileName(step))) == nil {
+			newestValid = step
+			break
+		}
+	}
 	for _, step := range steps[keep:] {
+		if step == newestValid {
+			continue
+		}
 		if err := os.Remove(filepath.Join(dir, FileName(step))); err != nil {
 			return err
 		}

@@ -15,12 +15,14 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
 
 	"graphxmt/internal/ckpt"
 	"graphxmt/internal/graph"
+	"graphxmt/internal/obs"
 	"graphxmt/internal/trace"
 )
 
@@ -141,30 +143,39 @@ func runFingerprint(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, co
 		MaxMessages:   maxMsgs,
 		CostsCRC:      costsCRC(costs),
 		Direction:     cfg.Direction.String(),
+		Retries:       int64(max(cfg.MaxRetries, 0)),
 	}
 }
 
 // ckptRun is the per-run checkpoint state. nil when the run has no policy,
-// no stop channel, and no resume path — the engine's only hot-path cost.
+// no stop channel, no resume path, and no supervisor — the engine's only
+// hot-path cost.
 type ckptRun struct {
 	policy *ckpt.Policy
 	stop   <-chan struct{}
 	fp     ckpt.Fingerprint
 	everyN int
+	// sup, when non-nil, is the run supervisor (supervise.go): retry makes
+	// record run at every boundary even when EveryN (or the absence of a
+	// checkpoint directory) gates disk writes, and the run deadline is
+	// surfaced from atBoundary so it composes with the stop channel's
+	// finish-superstep-then-exit contract.
+	sup *supRun
 	// snap is the in-memory snapshot of the most recent completed
 	// boundary, refreshed at every boundary while a policy is configured
-	// (EveryN gates only disk writes). It backs the emergency checkpoint
-	// written when a vertex program panics mid-superstep.
+	// (EveryN gates only disk writes) or retry is enabled. It backs the
+	// emergency checkpoint written when a vertex program panics
+	// mid-superstep and the retry supervisor's rollback.
 	snap *ckpt.Snapshot
 }
 
 // startCkpt resolves the run's checkpoint state; nil disables everything.
-func startCkpt(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, costs CostSchedule) *ckptRun {
-	if cfg.Checkpoint == nil && cfg.Stop == nil && cfg.Resume == "" {
+func startCkpt(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, costs CostSchedule, sup *supRun) *ckptRun {
+	if cfg.Checkpoint == nil && cfg.Stop == nil && cfg.Resume == "" && !cfg.ResumeLatest && sup == nil {
 		return nil
 	}
-	ck := &ckptRun{policy: cfg.Checkpoint, stop: cfg.Stop}
-	if ck.policy != nil || cfg.Resume != "" {
+	ck := &ckptRun{policy: cfg.Checkpoint, stop: cfg.Stop, sup: sup}
+	if ck.policy != nil || cfg.Resume != "" || cfg.ResumeLatest {
 		ck.fp = runFingerprint(cfg, g, maxSteps, maxMsgs, costs)
 	}
 	if ck.policy != nil {
@@ -244,6 +255,13 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 		}
 		visited = append([]bool(nil), ds.visited...)
 	}
+	// Per-superstep retry counts — checkpoint format v5: present exactly
+	// when the retry supervisor is active, so a resumed run's
+	// Result.RetriesPerStep matches an uninterrupted one's.
+	var rets []int64
+	if ck.sup != nil && ck.sup.maxRetries > 0 {
+		rets = append([]int64(nil), ck.sup.retries...)
+	}
 	ck.snap = &ckpt.Snapshot{
 		FP:               ck.fp,
 		Step:             int64(step),
@@ -260,6 +278,7 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 		ActivePerStep:    append([]int64(nil), res.ActivePerStep...),
 		MessagesPerStep:  append([]int64(nil), res.MessagesPerStep...),
 		DeliveredPerStep: append([]int64(nil), res.DeliveredPerStep...),
+		RetriesPerStep:   rets,
 		Aggregates:       aggSnapshot(master.aggregates),
 		PrevAggregates:   prevAggSnapshot(master.prevAggregates),
 		Phases:           rec.StateSnapshot(),
@@ -280,12 +299,26 @@ func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, 
 		default:
 		}
 	}
+	sup := ck.sup
+	// The run deadline surfaces here so it composes with Stop: the
+	// superstep in flight finishes, a checkpoint is written (when a policy
+	// is configured), and the run exits typed. An interrupt outranks the
+	// deadline — it carries the caller's intent.
+	timedOut := sup != nil && sup.runExpired()
 	p := ck.policy
 	if p == nil || p.Dir == "" {
 		// No policy, or a label-only policy (a resume without a new
-		// checkpoint directory): nothing is ever written.
+		// checkpoint directory): nothing is ever written, but retry still
+		// needs the in-memory boundary snapshot to roll back to.
+		if sup != nil && sup.maxRetries > 0 {
+			ck.record(step, live, res, halted, sendBuf, bcasts, master, ds, rec)
+			sup.lastSnap.Store(ck.snap)
+		}
 		if stopped {
 			return &InterruptedError{Superstep: step}
+		}
+		if timedOut {
+			return &TimeoutError{Superstep: step, Limit: sup.runTimeout}
 		}
 		return nil
 	}
@@ -293,7 +326,10 @@ func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, 
 		stopped = true
 	}
 	ck.record(step, live, res, halted, sendBuf, bcasts, master, ds, rec)
-	if !stopped && (step+1)%ck.everyN != 0 {
+	if sup != nil {
+		sup.lastSnap.Store(ck.snap)
+	}
+	if !stopped && !timedOut && (step+1)%ck.everyN != 0 {
 		return nil
 	}
 	path, err := ckpt.WriteFile(p.Dir, ck.snap, ckpt.FileName(int64(step)), p.Hooks)
@@ -306,6 +342,9 @@ func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, 
 	if stopped {
 		return &InterruptedError{Superstep: step, CheckpointPath: path}
 	}
+	if timedOut {
+		return &TimeoutError{Superstep: step, Limit: sup.runTimeout, CheckpointPath: path}
+	}
 	return nil
 }
 
@@ -315,6 +354,12 @@ func (ck *ckptRun) atBoundary(step int, live int64, res *Result, halted []bool, 
 // than masking the ProgramError).
 func (ck *ckptRun) emergency() string {
 	if ck == nil || ck.policy == nil || ck.policy.Dir == "" || ck.snap == nil {
+		return ""
+	}
+	if ck.snap.Step < 0 {
+		// The retry supervisor's post-init snapshot (Step = -1) is
+		// in-memory only: no boundary has completed, so there is nothing
+		// worth persisting (and nothing a resume could consume).
 		return ""
 	}
 	path, err := ckpt.WriteFile(ck.policy.Dir, ck.snap, ckpt.EmergencyFileName(ck.snap.Step), ck.policy.Hooks)
@@ -333,6 +378,38 @@ func (ck *ckptRun) loadResume(path string) (*ckpt.Snapshot, error) {
 	if err := s.FP.Check(ck.fp); err != nil {
 		return nil, err
 	}
+	// The loaded snapshot doubles as the resumed run's first boundary
+	// snapshot, so retry can roll back — and an emergency checkpoint can be
+	// written — before the first post-resume boundary refreshes it.
+	ck.snap = s
+	return s, nil
+}
+
+// loadLatest resolves Config.ResumeLatest: walk the policy directory's
+// checkpoints newest-first and load the first valid one, reporting each
+// skipped (corrupt, truncated, or version-incompatible) snapshot through
+// the run's obs sink. Returns (nil, nil) when the directory holds no
+// checkpoints at all — a fresh start — but fails when every checkpoint
+// present is damaged: silently recomputing from scratch is worse than
+// making the operator decide.
+func (ck *ckptRun) loadLatest(cfg *Config) (*ckpt.Snapshot, error) {
+	if ck == nil || ck.policy == nil || ck.policy.Dir == "" {
+		return nil, fmt.Errorf("core: ResumeLatest requires a checkpoint policy with a directory")
+	}
+	noter := obs.FindFallbackNoter(runSink(cfg))
+	s, _, err := ckpt.ResumeLatestValid(ck.policy.Dir, ck.fp, func(path string, cause error) {
+		if noter != nil {
+			noter.NoteFallback(path, cause)
+		}
+	})
+	if err != nil {
+		var nv *ckpt.NoValidCheckpointError
+		if errors.As(err, &nv) && nv.Skipped == 0 {
+			return nil, nil
+		}
+		return nil, err
+	}
+	ck.snap = s
 	return s, nil
 }
 

@@ -153,6 +153,38 @@ type Config struct {
 	// mode is recorded in checkpoint fingerprints, so a resumed run must
 	// use the mode it started with.
 	Direction DirectionMode
+	// MaxRetries bounds deterministic superstep retry (supervise.go): a
+	// vertex-program panic rolls the engine back to the last superstep
+	// boundary's in-memory snapshot and re-executes, up to MaxRetries
+	// times per superstep, before giving up with *RetryExhaustedError.
+	// Because re-execution consumes exactly the boundary state the failed
+	// attempt did, a run that survives a transient fault is bit-identical
+	// (Result and profile) to a fault-free run at any worker count. 0 or
+	// negative disables retry. The bound is recorded in checkpoint
+	// fingerprints, so a resumed run must keep the bound it started with.
+	MaxRetries int
+	// StepTimeout, when positive, arms a watchdog over each superstep: a
+	// superstep that outlives the deadline triggers an emergency
+	// checkpoint (when a policy with a directory is configured) plus a
+	// flight-recorder dump from the watchdog goroutine, and the run
+	// returns *TimeoutError (Stalled=true) at the next boundary it
+	// reaches. 0 disables the watchdog at zero hot-path cost.
+	StepTimeout time.Duration
+	// RunTimeout, when positive, bounds the whole run's wall-clock time.
+	// The deadline is checked at superstep boundaries — the engine
+	// finishes the superstep in flight, writes a checkpoint (when a
+	// policy is configured), and returns *TimeoutError (Stalled=false) —
+	// so it composes with Stop's finish-superstep-then-exit contract.
+	// 0 disables the bound.
+	RunTimeout time.Duration
+	// ResumeLatest, when true, resumes from the newest *valid* checkpoint
+	// in the policy's directory (ckpt.ResumeLatestValid): corrupt,
+	// truncated, and version-incompatible snapshots are skipped (each
+	// skip reported through the obs sink) and the chain falls back to the
+	// next older one. An empty directory starts fresh; a directory with
+	// only damaged checkpoints is an error. Requires a Checkpoint policy
+	// with a directory. Mutually exclusive with Resume.
+	ResumeLatest bool
 }
 
 // Result is the outcome of a BSP run.
@@ -180,6 +212,12 @@ type Result struct {
 	// counters, identical at any worker count, and is persisted in
 	// checkpoints so resume replays it exactly.
 	DirectionPerStep []DirectionMode
+	// RetriesPerStep records, when Config.MaxRetries is positive, how many
+	// times each superstep was re-executed after a trapped fault (one
+	// entry per superstep, normally 0); nil when retry is disabled. The
+	// counts are persisted in checkpoints so a resumed run's totals match
+	// an uninterrupted one's.
+	RetriesPerStep []int64
 }
 
 // Run executes the BSP computation to termination.
@@ -211,16 +249,37 @@ func Run(cfg Config) (*Result, error) {
 		States:     make([]int64, n),
 		Aggregates: map[string]int64{},
 	}
+	// sup is the run-supervision state (retry, watchdog, run deadline);
+	// nil (no MaxRetries, no timeouts) costs one pointer check per
+	// superstep (supervise.go).
+	sup := startSup(&cfg)
 	// ck is the checkpoint/interrupt state; nil (no policy, no stop
-	// channel, no resume) costs one pointer check per superstep boundary.
-	ck := startCkpt(&cfg, g, maxSteps, maxMsgs, costs)
+	// channel, no resume, no supervisor) costs one pointer check per
+	// superstep boundary.
+	ck := startCkpt(&cfg, g, maxSteps, maxMsgs, costs, sup)
 	var resumeSnap *ckpt.Snapshot
-	if cfg.Resume != "" {
+	switch {
+	case cfg.Resume != "":
 		s, err := ck.loadResume(cfg.Resume)
 		if err != nil {
 			return nil, err
 		}
 		resumeSnap = s
+	case cfg.ResumeLatest:
+		// Fallback chain: newest valid checkpoint in the policy's
+		// directory, or a fresh start when the directory has none (and no
+		// damaged ones either).
+		s, err := ck.loadLatest(&cfg)
+		if err != nil {
+			return nil, err
+		}
+		resumeSnap = s
+	}
+	if sup != nil && resumeSnap != nil {
+		sup.lastSnap.Store(resumeSnap)
+		if sup.maxRetries > 0 {
+			sup.retries = append(sup.retries, resumeSnap.RetriesPerStep...)
+		}
 	}
 	// ds is the direction-decision state; nil (program not pull-capable,
 	// mode auto) is the legacy engine and costs one pointer check per
@@ -236,6 +295,10 @@ func Run(cfg Config) (*Result, error) {
 	if o != nil {
 		defer o.finish()
 		tObs = time.Now()
+	}
+	if sup != nil {
+		sup.startWatchdog(o, cfg.Checkpoint)
+		defer sup.stop()
 	}
 	halted := make([]bool, n)
 	// live tracks the number of non-halted vertices incrementally (via
@@ -316,6 +379,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	scratch := &runScratch{sawUnicast: cfg.ExpandBroadcasts}
 
+	if resumeSnap == nil && sup != nil && sup.maxRetries > 0 {
+		// Capture the post-init boundary (Step = -1, in-memory only; never
+		// written to disk) so a fault in superstep 0 has a snapshot to
+		// roll back to.
+		ck.record(-1, live, res, halted, nil, nil, master, ds, cfg.Recorder)
+		sup.lastSnap.Store(ck.snap)
+	}
+
 	startStep := 0
 	if resumeSnap != nil {
 		// Restore the boundary after superstep resumeSnap.Step, then redo
@@ -381,119 +452,155 @@ func Run(cfg Config) (*Result, error) {
 		// region so its (abundant) parallelism is not conflated with the
 		// compute loop's. Under SparseActivation only the worklist is
 		// inspected.
-		scanCount := n
-		if cfg.SparseActivation {
-			scanCount = int64(len(candidates))
+		if sup != nil {
+			sup.beginStep(step)
 		}
-		scan := cfg.Recorder.StartPhase("bsp/scan", step)
-		scan.AddTasks(scanCount, 0, costs.ScanLoadsPerVertex*scanCount, 0)
-		scan.ObserveTask(costs.ScanLoadsPerVertex)
-
-		ph := cfg.Recorder.StartPhase("bsp/superstep", step)
-
-		// Compute sweep: worker-independent chunks, each with a private
-		// context, merged in chunk index order below. Chunk boundaries are
-		// a pure function of the schedule, graph, and active set (see
-		// sweepBoundaries) — never of the worker count — so results and
-		// profiles are identical at any host configuration.
-		count := int(n)
-		if cfg.SparseActivation {
-			count = len(candidates)
-		}
-		bounds := scratch.sweepBoundaries(g.Offsets(), candidates, cfg.SparseActivation, cfg.Chunking, count)
-		numChunks := len(bounds) - 1
-		if numChunks < 0 {
-			numChunks = 0
-		}
-		var visited []bool
-		if ds != nil {
-			visited = ds.visited
-		}
-		scratch.ensureChunks(numChunks, master, visited)
-		sparse := cfg.SparseActivation
-		prog := cfg.Program
-		ib := &inboxView{val: inboxVal, off: inboxOff}
-		if sparse {
-			scratch.ensureSparseInbox(n)
-			ib.sparse = true
-			ib.stamp, ib.lo, ib.hi = scratch.msgStamp, scratch.msgLo, scratch.msgHi
-			ib.st = int64(step) - 1 // what the previous superstep delivered
-		}
-		if o != nil {
-			tObs = time.Now()
-		}
-		if par.Workers() == 1 {
-			// Serial fast path: chunks run in index order anyway, so thread
-			// one shared send buffer through them — appending in chunk order
-			// is the concatenation the parallel path performs explicitly,
-			// minus the copy. Counter and aggregator partials stay per-chunk
-			// so their merge fold structure (hence the result) is identical
-			// to the parallel path's.
-			// The shared send buffer makes every broadcast record's seq global
-			// already, so no offset fix-up is needed on this path.
-			buf := sendBuf[:0]
-			bb := bcasts[:0]
-			for c := 0; c < numChunks; c++ {
-				lo, hi := bounds[c], bounds[c+1]
-				cs := scratch.chunks[c]
-				cs.reset(step, master.prevAggregates)
-				cs.eng.sendBuf = buf
-				cs.eng.bcastBuf = bb
-				cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
-				buf = cs.eng.sendBuf
-				bb = cs.eng.bcastBuf
-				cs.eng.sendBuf = nil
-				cs.eng.bcastBuf = nil
-				if cs.trap != nil {
-					// A trapped chunk is the lowest one (index order); later
-					// chunks won't run, matching the parallel path's
-					// lowest-chunk-wins fold in firstTrap.
-					break
-				}
+		// The attempt loop: one iteration per execution of this superstep's
+		// scan + compute sweep. Without a supervisor a trapped sweep exits
+		// on the first iteration exactly as before; with retry enabled a
+		// trapped attempt rolls back to the boundary snapshot and
+		// re-executes (supervise.go). Everything below the loop consumes
+		// only the successful attempt's chunk state.
+		// The shadow keeps the parallel sweep closure capturing a
+		// never-reassigned copy by value; capturing the loop variable
+		// itself heap-allocates a cell every superstep.
+		step := step
+		var ph *trace.Phase
+		var numChunks int
+		var retried int64
+		for {
+			scanCount := n
+			if cfg.SparseActivation {
+				scanCount = int64(len(candidates))
 			}
-			sendBuf, bcasts = buf, bb
+			scan := cfg.Recorder.StartPhase("bsp/scan", step)
+			scan.AddTasks(scanCount, 0, costs.ScanLoadsPerVertex*scanCount, 0)
+			scan.ObserveTask(costs.ScanLoadsPerVertex)
+
+			ph = cfg.Recorder.StartPhase("bsp/superstep", step)
+
+			// Compute sweep: worker-independent chunks, each with a private
+			// context, merged in chunk index order below. Chunk boundaries are
+			// a pure function of the schedule, graph, and active set (see
+			// sweepBoundaries) — never of the worker count — so results and
+			// profiles are identical at any host configuration.
+			count := int(n)
+			if cfg.SparseActivation {
+				count = len(candidates)
+			}
+			bounds := scratch.sweepBoundaries(g.Offsets(), candidates, cfg.SparseActivation, cfg.Chunking, count)
+			numChunks = len(bounds) - 1
+			if numChunks < 0 {
+				numChunks = 0
+			}
+			var visited []bool
+			if ds != nil {
+				visited = ds.visited
+			}
+			scratch.ensureChunks(numChunks, master, visited)
+			sparse := cfg.SparseActivation
+			prog := cfg.Program
+			ib := &inboxView{val: inboxVal, off: inboxOff}
+			if sparse {
+				scratch.ensureSparseInbox(n)
+				ib.sparse = true
+				ib.stamp, ib.lo, ib.hi = scratch.msgStamp, scratch.msgLo, scratch.msgHi
+				ib.st = int64(step) - 1 // what the previous superstep delivered
+			}
 			if o != nil {
-				// The serial sweep bypasses par entirely; its busy time is
-				// the engine goroutine's, folded to worker 0.
-				o.timer.Add(0, time.Since(tObs))
+				tObs = time.Now()
 			}
-		} else {
-			presize := scratch.sawUnicast
-			par.ForBoundaryChunks(bounds, func(c, lo, hi int) {
-				cs := scratch.chunks[c]
-				cs.reset(step, master.prevAggregates)
-				// Pre-size the chunk's private send buffer from its degree
-				// sum (exact for one-message-per-edge programs), avoiding
-				// append-doubling in the hot sweep — but only once the run
-				// has actually produced unicast messages: a pure-broadcast
-				// run fills only the (tiny) record buffers and must not
-				// allocate per-edge capacity it will never touch. The serial
-				// path threads one shared buffer instead, so it needs no
-				// hint.
-				if presize {
-					cs.presize(scratch.chunkSendHint(lo, hi))
+			if par.Workers() == 1 {
+				// Serial fast path: chunks run in index order anyway, so thread
+				// one shared send buffer through them — appending in chunk order
+				// is the concatenation the parallel path performs explicitly,
+				// minus the copy. Counter and aggregator partials stay per-chunk
+				// so their merge fold structure (hence the result) is identical
+				// to the parallel path's.
+				// The shared send buffer makes every broadcast record's seq global
+				// already, so no offset fix-up is needed on this path.
+				buf := sendBuf[:0]
+				bb := bcasts[:0]
+				for c := 0; c < numChunks; c++ {
+					lo, hi := bounds[c], bounds[c+1]
+					cs := scratch.chunks[c]
+					cs.reset(step, master.prevAggregates)
+					cs.eng.sendBuf = buf
+					cs.eng.bcastBuf = bb
+					cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
+					buf = cs.eng.sendBuf
+					bb = cs.eng.bcastBuf
+					cs.eng.sendBuf = nil
+					cs.eng.bcastBuf = nil
+					if cs.trap != nil {
+						// A trapped chunk is the lowest one (index order); later
+						// chunks won't run, matching the parallel path's
+						// lowest-chunk-wins fold in firstTrap.
+						break
+					}
 				}
-				cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
-			})
-			sendBuf = scratch.concatSends(sendBuf, numChunks)
-			bcasts = scratch.concatBcasts(bcasts, numChunks)
-		}
-		if len(sendBuf) > 0 {
-			scratch.sawUnicast = true
-		}
-		if o != nil {
-			// Emitted before the trap check so a panicking superstep's
-			// compute span still reaches the sink — the flight recorder's
-			// ring must contain the failing step.
-			o.phase(obsPhaseCompute, step, tObs)
-			tObs = time.Now()
-		}
-		if pe := scratch.firstTrap(numChunks, step); pe != nil {
-			pe.CheckpointPath = ck.emergency()
-			if pe.CheckpointPath != "" {
-				pe.FlightRecorderPath = o.flightDump(filepath.Dir(pe.CheckpointPath), pe.Error())
+				sendBuf, bcasts = buf, bb
+				if o != nil {
+					// The serial sweep bypasses par entirely; its busy time is
+					// the engine goroutine's, folded to worker 0.
+					o.timer.Add(0, time.Since(tObs))
+				}
+			} else {
+				presize := scratch.sawUnicast
+				par.ForBoundaryChunks(bounds, func(c, lo, hi int) {
+					cs := scratch.chunks[c]
+					cs.reset(step, master.prevAggregates)
+					// Pre-size the chunk's private send buffer from its degree
+					// sum (exact for one-message-per-edge programs), avoiding
+					// append-doubling in the hot sweep — but only once the run
+					// has actually produced unicast messages: a pure-broadcast
+					// run fills only the (tiny) record buffers and must not
+					// allocate per-edge capacity it will never touch. The serial
+					// path threads one shared buffer instead, so it needs no
+					// hint.
+					if presize {
+						cs.presize(scratch.chunkSendHint(lo, hi))
+					}
+					cs.runRange(prog, lo, hi, step, ib, halted, sparse, candidates)
+				})
+				sendBuf = scratch.concatSends(sendBuf, numChunks)
+				bcasts = scratch.concatBcasts(bcasts, numChunks)
 			}
-			return nil, pe
+			if len(sendBuf) > 0 {
+				scratch.sawUnicast = true
+			}
+			if o != nil {
+				// Emitted before the trap check so a panicking superstep's
+				// compute span still reaches the sink — the flight recorder's
+				// ring must contain the failing step.
+				o.phase(obsPhaseCompute, step, tObs)
+				tObs = time.Now()
+			}
+			pe := scratch.firstTrap(numChunks, step)
+			if pe == nil {
+				break
+			}
+			if sup == nil || int(retried) >= sup.maxRetries || ck.snap == nil {
+				pe.CheckpointPath = ck.emergency()
+				if pe.CheckpointPath != "" {
+					pe.FlightRecorderPath = o.flightDump(filepath.Dir(pe.CheckpointPath), pe.Error())
+				}
+				if retried > 0 {
+					return nil, &RetryExhaustedError{
+						Superstep:          step,
+						Attempts:           int(retried) + 1,
+						Cause:              pe,
+						CheckpointPath:     pe.CheckpointPath,
+						FlightRecorderPath: pe.FlightRecorderPath,
+					}
+				}
+				return nil, pe
+			}
+			retried++
+			sup.rollbackTo(ck.snap, halted, master, ds, scratch, cfg.Recorder)
+		}
+		if sup != nil && sup.maxRetries > 0 {
+			sup.retries = append(sup.retries, retried)
 		}
 
 		// Deterministic merge of the chunk partials. sent is the logical
@@ -564,6 +671,10 @@ func Run(cfg Config) (*Result, error) {
 					st.FrontierEdges = frontierEdges
 					st.UnvisitedEdges = unvisitedEdges
 				}
+				if sup != nil {
+					st.Retries = retried
+					st.Stalled = sup.stalledAt(step)
+				}
 				o.step(st)
 			}
 			break
@@ -610,6 +721,10 @@ func Run(cfg Config) (*Result, error) {
 				st.FrontierEdges = frontierEdges
 				st.UnvisitedEdges = unvisitedEdges
 			}
+			if sup != nil {
+				st.Retries = retried
+				st.Stalled = sup.stalledAt(step)
+			}
 			o.step(st)
 		}
 
@@ -627,6 +742,18 @@ func Run(cfg Config) (*Result, error) {
 				o.phase(obsPhaseCheckpoint, step, tObs)
 			}
 		}
+		// A watchdog stall latched during this superstep surfaces after the
+		// boundary work above, so the periodic checkpoint (if due) is still
+		// written; a stalled *terminal* superstep exits through the normal
+		// completion path instead — the run finished, deadline or not.
+		if sup != nil {
+			if err := sup.stallErr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sup != nil && sup.maxRetries > 0 {
+		res.RetriesPerStep = sup.retries
 	}
 	for name, agg := range master.aggregates {
 		res.Aggregates[name] = agg.value

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // ProgramError reports a vertex-program panic recovered by the engine. No
 // panic raised inside Program.InitialState or Program.Compute escapes Run:
@@ -72,6 +75,62 @@ type BudgetError struct {
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("core: no convergence after %d supersteps (last superstep: %d active, %d sent, %d delivered; %d vertices live)",
 		e.MaxSupersteps, e.LastActive, e.LastSent, e.LastDelivered, e.Live)
+}
+
+// RetryExhaustedError reports a superstep that kept faulting after
+// Config.MaxRetries deterministic re-executions from the last boundary
+// snapshot. Cause is the final attempt's fault (a *ProgramError for
+// vertex-program panics); the emergency checkpoint and flight-recorder
+// paths locate the persisted state of the last good boundary.
+type RetryExhaustedError struct {
+	// Superstep is the superstep that could not be completed.
+	Superstep int
+	// Attempts is the total number of executions (1 + retries).
+	Attempts int
+	// Cause is the fault from the final attempt.
+	Cause error
+	// CheckpointPath is the emergency checkpoint of the last completed
+	// boundary, or "" when none could be written.
+	CheckpointPath string
+	// FlightRecorderPath is the flight-recorder dump written next to the
+	// emergency checkpoint, or "" when no flight recorder was attached.
+	FlightRecorderPath string
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("core: superstep %d still faulting after %d attempts: %v",
+		e.Superstep, e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the final attempt's fault to errors.Is/As.
+func (e *RetryExhaustedError) Unwrap() error { return e.Cause }
+
+// TimeoutError reports a run stopped by a watchdog deadline: either a
+// single superstep outlived Config.StepTimeout (Stalled=true) or the whole
+// run outlived Config.RunTimeout. In both cases the engine persists what it
+// can — a flight-recorder dump at fire time and an emergency checkpoint of
+// the last completed boundary — before returning.
+type TimeoutError struct {
+	// Superstep is the superstep in flight (step timeout) or the last
+	// completed superstep (run timeout).
+	Superstep int
+	// Limit is the deadline that fired.
+	Limit time.Duration
+	// Stalled is true for a per-superstep deadline, false for the
+	// whole-run deadline.
+	Stalled bool
+	// CheckpointPath is the emergency (step timeout) or periodic (run
+	// timeout) checkpoint persisted before returning, or "".
+	CheckpointPath string
+	// FlightRecorderPath is the flight-recorder dump, or "".
+	FlightRecorderPath string
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Stalled {
+		return fmt.Sprintf("core: superstep %d stalled past the %v watchdog deadline", e.Superstep, e.Limit)
+	}
+	return fmt.Sprintf("core: run exceeded the %v deadline after superstep %d", e.Limit, e.Superstep)
 }
 
 // MessageCapError reports a superstep that exceeded

@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"graphxmt/internal/bspalg"
 	"graphxmt/internal/core"
@@ -44,6 +45,30 @@ type Setup struct {
 	// pull-capable kernels (CC, BFS, label propagation). The zero value is
 	// core.DirAuto; core.DirPush is the forced-push A/B control.
 	Direction core.DirectionMode
+	// Retries, StepTimeout and RunTimeout arm the engine's run supervisor
+	// for every BSP pass an experiment performs (see docs/ROBUSTNESS.md).
+	// Zero values leave supervision off — the benchmark's default, since
+	// the retry snapshot costs one state copy per superstep boundary.
+	Retries     int
+	StepTimeout time.Duration
+	RunTimeout  time.Duration
+}
+
+// engineOpts returns the core options every BSP engine pass of an
+// experiment shares: direction mode plus, when armed, the supervisor
+// knobs.
+func (s Setup) engineOpts() []core.Option {
+	opts := []core.Option{core.WithDirection(s.Direction)}
+	if s.Retries > 0 {
+		opts = append(opts, core.WithRetries(s.Retries))
+	}
+	if s.StepTimeout > 0 {
+		opts = append(opts, core.WithStepTimeout(s.StepTimeout))
+	}
+	if s.RunTimeout > 0 {
+		opts = append(opts, core.WithRunTimeout(s.RunTimeout))
+	}
+	return opts
 }
 
 // DefaultSetup returns the configuration the committed EXPERIMENTS.md
@@ -111,7 +136,7 @@ func Table1(g *graph.Graph, s Setup) (*Table1Result, error) {
 
 	// Connected components.
 	bspRec := trace.NewRecorder()
-	bspCC, err := bspalg.ConnectedComponents(g, bspRec, core.WithDirection(s.Direction))
+	bspCC, err := bspalg.ConnectedComponents(g, bspRec, s.engineOpts()...)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: bsp cc: %w", err)
 	}
@@ -129,7 +154,7 @@ func Table1(g *graph.Graph, s Setup) (*Table1Result, error) {
 	// Breadth-first search.
 	src := BFSSource(g)
 	bspRec = trace.NewRecorder()
-	bspBFS, err := bspalg.BFS(g, src, bspRec, core.WithDirection(s.Direction))
+	bspBFS, err := bspalg.BFS(g, src, bspRec, s.engineOpts()...)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: bsp bfs: %w", err)
 	}
@@ -193,7 +218,7 @@ type Fig1Result struct {
 func Fig1(g *graph.Graph, s Setup) (*Fig1Result, error) {
 	s = s.withDefaults()
 	bspRec := trace.NewRecorder()
-	if _, err := bspalg.ConnectedComponents(g, bspRec, core.WithDirection(s.Direction)); err != nil {
+	if _, err := bspalg.ConnectedComponents(g, bspRec, s.engineOpts()...); err != nil {
 		return nil, err
 	}
 	ctRec := trace.NewRecorder()
@@ -238,7 +263,7 @@ type Fig2Result struct {
 // Fig2 runs BSP BFS and reports frontier vs messages per level.
 func Fig2(g *graph.Graph, s Setup) (*Fig2Result, error) {
 	src := BFSSource(g)
-	bsp, err := bspalg.BFS(g, src, nil, core.WithDirection(s.Direction))
+	bsp, err := bspalg.BFS(g, src, nil, s.engineOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +291,7 @@ func Fig3(g *graph.Graph, s Setup) (*Fig3Result, error) {
 	s = s.withDefaults()
 	src := BFSSource(g)
 	bspRec := trace.NewRecorder()
-	if _, err := bspalg.BFS(g, src, bspRec, core.WithDirection(s.Direction)); err != nil {
+	if _, err := bspalg.BFS(g, src, bspRec, s.engineOpts()...); err != nil {
 		return nil, err
 	}
 	ctRec := trace.NewRecorder()
@@ -349,7 +374,7 @@ func Aux(g *graph.Graph, s Setup) (*AuxResult, error) {
 	s = s.withDefaults()
 	res := &AuxResult{}
 
-	bspCC, err := bspalg.ConnectedComponents(g, nil, core.WithDirection(s.Direction))
+	bspCC, err := bspalg.ConnectedComponents(g, nil, s.engineOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +394,7 @@ func Aux(g *graph.Graph, s Setup) (*AuxResult, error) {
 		res.WriteRatio = float64(res.BSPWrites) / float64(res.GraphCTWrites)
 	}
 
-	bfs, err := bspalg.BFS(g, BFSSource(g), nil, core.WithDirection(s.Direction))
+	bfs, err := bspalg.BFS(g, BFSSource(g), nil, s.engineOpts()...)
 	if err != nil {
 		return nil, err
 	}

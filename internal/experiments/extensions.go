@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"graphxmt/internal/bspalg"
-	"graphxmt/internal/core"
 	"graphxmt/internal/gen"
 	"graphxmt/internal/graph"
 	"graphxmt/internal/graphct"
@@ -54,7 +53,7 @@ func Extensions(g *graph.Graph, s Setup) (*ExtensionsResult, error) {
 	// (synchronous vs in-place sweeps); quality is compared by modularity
 	// in the communities example, so only time is tabulated here.
 	bspRec = trace.NewRecorder()
-	bspLP, err := bspalg.LabelPropagation(g, 40, bspRec, core.WithDirection(s.Direction))
+	bspLP, err := bspalg.LabelPropagation(g, 40, bspRec, s.engineOpts()...)
 	if err != nil {
 		return nil, err
 	}

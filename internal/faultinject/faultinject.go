@@ -3,8 +3,13 @@
 // (and, for program panics, vertex) and can:
 //
 //   - panic a vertex program at an exact (superstep, vertex), or in the
-//     InitialState sweep;
-//   - fail a checkpoint write mid-stream (exercising write atomicity);
+//     InitialState sweep — permanently, or a bounded number of times
+//     (the transient fault the engine's deterministic retry absorbs);
+//   - fail a checkpoint write mid-stream (exercising write atomicity),
+//     with ENOSPC as a named variant;
+//   - tear a checkpoint write: bypass temp+rename and leave a truncated
+//     file under the final name (the fallback chain must skip it);
+//   - stall a superstep (one bounded sleep) to trip the engine watchdog;
 //   - deliver a simulated kill at a superstep boundary (the engine
 //     behaves exactly as for SIGTERM: checkpoint, then InterruptedError);
 //   - corrupt checkpoints already on disk (bit flips, truncation).
@@ -22,6 +27,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"graphxmt/internal/ckpt"
 	"graphxmt/internal/core"
@@ -35,14 +43,55 @@ const InitStep = int64(-1)
 // ErrInjectedWrite is the error injected write failures surface.
 var ErrInjectedWrite = errors.New("faultinject: injected checkpoint write failure")
 
+// ErrInjectedENOSPC is the error injected out-of-space write failures
+// surface; it wraps syscall.ENOSPC so errors.Is(err, syscall.ENOSPC) holds.
+var ErrInjectedENOSPC = fmt.Errorf("faultinject: injected checkpoint write failure: %w", syscall.ENOSPC)
+
+// PanicN is a transient fault: vertex Vertex's program panics on its first
+// Count executions of one superstep, then succeeds — the shape the
+// engine's bounded deterministic retry absorbs. Each retry attempt runs
+// Compute exactly once for the vertex, so Count is the number of attempts
+// consumed before success.
+type PanicN struct {
+	Vertex    int64
+	remaining atomic.Int64
+}
+
+// NewPanicN builds a transient-panic spec that fires count times.
+func NewPanicN(vertex, count int64) *PanicN {
+	pn := &PanicN{Vertex: vertex}
+	pn.remaining.Store(count)
+	return pn
+}
+
+// SlowStep is a one-shot superstep stall: the first Compute call of the
+// superstep sleeps Millis milliseconds (once per process, not per vertex),
+// long enough to trip a Config.StepTimeout watchdog without distorting
+// every subsequent attempt or superstep.
+type SlowStep struct {
+	Millis int64
+	done   atomic.Bool
+}
+
 // Plan is a deterministic fault schedule. The zero value injects nothing.
 type Plan struct {
 	// PanicAt maps superstep → vertex whose program panics in that
 	// superstep (InitStep for the InitialState sweep).
 	PanicAt map[int64]int64
+	// PanicNAt maps superstep → a transient panic spec for that superstep.
+	PanicNAt map[int64]*PanicN
+	// SlowStepAt maps superstep → a one-shot stall for that superstep.
+	SlowStepAt map[int64]*SlowStep
 	// FailWriteAt holds the superstep boundaries whose checkpoint write
 	// fails mid-stream.
 	FailWriteAt map[int64]bool
+	// ENOSPCAt holds the superstep boundaries whose checkpoint write fails
+	// mid-stream with ENOSPC.
+	ENOSPCAt map[int64]bool
+	// TornWriteAt holds the superstep boundaries whose checkpoint write is
+	// torn: a truncated payload lands under the final name with no
+	// temp+rename, reported as success (ckpt.Hooks.TornWrite).
+	TornWriteAt map[int64]bool
 	// KillAt holds the superstep boundaries at which a simulated kill is
 	// delivered.
 	KillAt map[int64]bool
@@ -52,7 +101,15 @@ type Plan struct {
 // the forms
 //
 //	panic@S:V     panic vertex V's program in superstep S (S may be "init")
+//	panicn@S:V:K  panic vertex V's program K times in superstep S, then
+//	              succeed (transient fault; retry fodder)
+//	slowstep@S:MS stall superstep S once for MS milliseconds (watchdog
+//	              fodder)
 //	failwrite@S   fail the checkpoint write at the boundary after superstep S
+//	enospc@S      same, but the failure is ENOSPC
+//	tornwrite@S   tear the checkpoint write at the boundary after superstep
+//	              S: truncated bytes under the final name, reported as
+//	              success
 //	kill@S        simulated kill at the boundary after superstep S
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{}
@@ -87,13 +144,56 @@ func ParsePlan(spec string) (*Plan, error) {
 				p.PanicAt = map[int64]int64{}
 			}
 			p.PanicAt[step] = vertex
-		case "failwrite", "kill":
+		case "panicn":
+			parts := strings.Split(arg, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("faultinject: panicn directive %q needs step:vertex:count", dir)
+			}
+			step, err := strconv.ParseInt(parts[0], 10, 64)
+			if err != nil || step < 0 {
+				return nil, fmt.Errorf("faultinject: bad superstep %q in %q", parts[0], dir)
+			}
+			vertex, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil || vertex < 0 {
+				return nil, fmt.Errorf("faultinject: bad vertex %q in %q", parts[1], dir)
+			}
+			count, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil || count < 1 {
+				return nil, fmt.Errorf("faultinject: bad panic count %q in %q", parts[2], dir)
+			}
+			if p.PanicNAt == nil {
+				p.PanicNAt = map[int64]*PanicN{}
+			}
+			p.PanicNAt[step] = NewPanicN(vertex, count)
+		case "slowstep":
+			stepStr, msStr, ok := strings.Cut(arg, ":")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: slowstep directive %q needs step:millis", dir)
+			}
+			step, err := strconv.ParseInt(stepStr, 10, 64)
+			if err != nil || step < 0 {
+				return nil, fmt.Errorf("faultinject: bad superstep %q in %q", stepStr, dir)
+			}
+			ms, err := strconv.ParseInt(msStr, 10, 64)
+			if err != nil || ms < 1 {
+				return nil, fmt.Errorf("faultinject: bad stall duration %q in %q", msStr, dir)
+			}
+			if p.SlowStepAt == nil {
+				p.SlowStepAt = map[int64]*SlowStep{}
+			}
+			p.SlowStepAt[step] = &SlowStep{Millis: ms}
+		case "failwrite", "enospc", "tornwrite", "kill":
 			step, err := strconv.ParseInt(arg, 10, 64)
 			if err != nil || step < 0 {
 				return nil, fmt.Errorf("faultinject: bad superstep %q in %q", arg, dir)
 			}
 			m := &p.FailWriteAt
-			if kind == "kill" {
+			switch kind {
+			case "enospc":
+				m = &p.ENOSPCAt
+			case "tornwrite":
+				m = &p.TornWriteAt
+			case "kill":
 				m = &p.KillAt
 			}
 			if *m == nil {
@@ -107,33 +207,39 @@ func ParsePlan(spec string) (*Plan, error) {
 	return p, nil
 }
 
-// Hooks returns the ckpt hooks realizing the plan's write failures and
-// kills, or nil when the plan has neither.
+// Hooks returns the ckpt hooks realizing the plan's write failures, torn
+// writes, and kills, or nil when the plan has none.
 func (p *Plan) Hooks() *ckpt.Hooks {
-	if p == nil || (len(p.FailWriteAt) == 0 && len(p.KillAt) == 0) {
+	if p == nil || (len(p.FailWriteAt) == 0 && len(p.ENOSPCAt) == 0 &&
+		len(p.TornWriteAt) == 0 && len(p.KillAt) == 0) {
 		return nil
 	}
 	return &ckpt.Hooks{
 		WrapWrite: func(step int64, w io.Writer) io.Writer {
-			if !p.FailWriteAt[step] {
-				return w
-			}
 			// Let part of the header through so the failure lands
 			// mid-stream, after bytes have already hit the temp file.
-			return &failingWriter{w: w, remaining: 12}
+			if p.FailWriteAt[step] {
+				return &failingWriter{w: w, remaining: 12, err: ErrInjectedWrite}
+			}
+			if p.ENOSPCAt[step] {
+				return &failingWriter{w: w, remaining: 12, err: ErrInjectedENOSPC}
+			}
+			return w
 		},
-		Kill: func(step int64) bool { return p.KillAt[step] },
+		TornWrite: func(step int64) bool { return p.TornWriteAt[step] },
+		Kill:      func(step int64) bool { return p.KillAt[step] },
 	}
 }
 
 type failingWriter struct {
 	w         io.Writer
 	remaining int
+	err       error
 }
 
 func (f *failingWriter) Write(b []byte) (int, error) {
 	if f.remaining <= 0 {
-		return 0, ErrInjectedWrite
+		return 0, f.err
 	}
 	if len(b) > f.remaining {
 		n, err := f.w.Write(b[:f.remaining])
@@ -141,18 +247,20 @@ func (f *failingWriter) Write(b []byte) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		return n, ErrInjectedWrite
+		return n, f.err
 	}
 	f.remaining -= len(b)
 	return f.w.Write(b)
 }
 
-// WrapProgram wraps prog so it panics at the plan's (superstep, vertex)
-// coordinates. The wrapper forwards the inner program's fingerprint name,
-// so wrapped and unwrapped runs produce interchangeable checkpoints. A
-// plan with no panics returns prog unchanged (zero engine overhead).
+// WrapProgram wraps prog so it realizes the plan's program-level faults:
+// panics (permanent and transient) at the plan's (superstep, vertex)
+// coordinates and one-shot superstep stalls. The wrapper forwards the
+// inner program's fingerprint name, so wrapped and unwrapped runs produce
+// interchangeable checkpoints. A plan with no program-level faults
+// returns prog unchanged (zero engine overhead).
 func (p *Plan) WrapProgram(prog core.Program) core.Program {
-	if p == nil || len(p.PanicAt) == 0 {
+	if p == nil || (len(p.PanicAt) == 0 && len(p.PanicNAt) == 0 && len(p.SlowStepAt) == 0) {
 		return prog
 	}
 	return &panicProgram{inner: prog, plan: p}
@@ -171,8 +279,15 @@ func (pp *panicProgram) InitialState(g *graph.Graph, v int64) int64 {
 }
 
 func (pp *panicProgram) Compute(v *core.VertexContext) {
-	if target, ok := pp.plan.PanicAt[int64(v.Superstep())]; ok && target == v.ID() {
-		panic(fmt.Sprintf("faultinject: planned panic at superstep %d, vertex %d", v.Superstep(), v.ID()))
+	step := int64(v.Superstep())
+	if ss, ok := pp.plan.SlowStepAt[step]; ok && ss.done.CompareAndSwap(false, true) {
+		time.Sleep(time.Duration(ss.Millis) * time.Millisecond)
+	}
+	if target, ok := pp.plan.PanicAt[step]; ok && target == v.ID() {
+		panic(fmt.Sprintf("faultinject: planned panic at superstep %d, vertex %d", step, v.ID()))
+	}
+	if pn, ok := pp.plan.PanicNAt[step]; ok && pn.Vertex == v.ID() && pn.remaining.Add(-1) >= 0 {
+		panic(fmt.Sprintf("faultinject: transient panic at superstep %d, vertex %d", step, v.ID()))
 	}
 	pp.inner.Compute(v)
 }

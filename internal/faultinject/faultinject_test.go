@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 
 	"graphxmt/internal/core"
@@ -39,6 +40,88 @@ func TestParsePlan(t *testing.T) {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParsePlanRobustnessVerbs(t *testing.T) {
+	p, err := ParsePlan("panicn@2:17:3; slowstep@1:250; enospc@4; tornwrite@6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := p.PanicNAt[2]
+	if pn == nil || pn.Vertex != 17 {
+		t.Fatalf("PanicNAt = %v", p.PanicNAt)
+	}
+	// The remaining counter fires exactly Count times, once per attempt.
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if pn.remaining.Add(-1) >= 0 {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("panicn@2:17:3 fired %d times, want 3", fired)
+	}
+	if ss := p.SlowStepAt[1]; ss == nil || ss.Millis != 250 {
+		t.Fatalf("SlowStepAt = %v", p.SlowStepAt)
+	}
+	if !p.ENOSPCAt[4] || !p.TornWriteAt[6] {
+		t.Fatalf("ENOSPCAt = %v, TornWriteAt = %v", p.ENOSPCAt, p.TornWriteAt)
+	}
+
+	for _, bad := range []string{
+		"panicn@1:2",     // missing count
+		"panicn@1:2:0",   // count must be >= 1
+		"panicn@1:2:x",   // bad count
+		"panicn@-1:2:1",  // negative superstep
+		"panicn@1:-2:1",  // negative vertex
+		"slowstep@1",     // missing millis
+		"slowstep@1:0",   // stall must be >= 1ms
+		"slowstep@x:5",   // bad superstep
+		"enospc@",        // missing superstep
+		"enospc@init",    // init has no checkpoint boundary
+		"tornwrite@-1",   // negative superstep
+		"tornwrite@2:3",  // superstep only
+		"panicn@1:2:3:4", // too many fields
+		"slowstep@1:2:3", // too many fields
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestENOSPCWriter(t *testing.T) {
+	p, err := ParsePlan("enospc@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Hooks()
+	if h == nil || h.WrapWrite == nil {
+		t.Fatal("enospc plan produced no write hook")
+	}
+	var cut bytes.Buffer
+	w := h.WrapWrite(2, &cut)
+	_, werr := w.Write(make([]byte, 100))
+	if !errors.Is(werr, ErrInjectedENOSPC) {
+		t.Fatalf("targeted write: err=%v, want ErrInjectedENOSPC", werr)
+	}
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("injected error does not wrap syscall.ENOSPC: %v", werr)
+	}
+}
+
+func TestTornWriteHook(t *testing.T) {
+	p, err := ParsePlan("tornwrite@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Hooks()
+	if h == nil || h.TornWrite == nil {
+		t.Fatal("tornwrite plan produced no torn-write hook")
+	}
+	if h.TornWrite(2) || !h.TornWrite(3) {
+		t.Fatal("torn-write hook fires at the wrong boundary")
 	}
 }
 

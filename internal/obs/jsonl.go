@@ -77,8 +77,20 @@ func (j *JSONL) Step(st StepStats) {
 		Direction string `json:"direction,omitempty"`
 		Frontier  int64  `json:"frontier_edges,omitempty"`
 		Unvisited int64  `json:"unvisited_edges,omitempty"`
+		Retries   int64  `json:"retries,omitempty"`
+		Stalled   bool   `json:"stalled,omitempty"`
 	}{"step", st.Step, st.Active, st.Sent, st.SentPhysical, st.Delivered, st.Received, st.ScratchBytes,
-		st.Direction, st.FrontierEdges, st.UnvisitedEdges})
+		st.Direction, st.FrontierEdges, st.UnvisitedEdges, st.Retries, st.Stalled})
+}
+
+// NoteFallback implements FallbackNoter: each damaged checkpoint the
+// resume fallback chain skips becomes a "ckpt_fallback" event.
+func (j *JSONL) NoteFallback(path string, cause error) {
+	j.emit(struct {
+		Ev    string `json:"ev"`
+		Path  string `json:"path"`
+		Cause string `json:"cause"`
+	}{"ckpt_fallback", path, cause.Error()})
 }
 
 // Mem implements Sink.

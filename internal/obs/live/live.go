@@ -177,6 +177,8 @@ type runState struct {
 	truncated int
 	lastStep  int
 	lastCkpt  time.Time // zero = no checkpoint observed
+	retries   int64
+	stalls    int64
 	done      bool
 	wall      time.Duration
 }
@@ -193,6 +195,8 @@ type runJSON struct {
 	AgeUs     float64    `json:"age_us"`
 	CkptAgeUs float64    `json:"last_checkpoint_age_us,omitempty"`
 	Truncated int        `json:"truncated_steps,omitempty"`
+	Retries   int64      `json:"retries,omitempty"`
+	Stalls    int64      `json:"stalls,omitempty"`
 	Steps     []stepJSON `json:"steps"`
 }
 
@@ -204,6 +208,8 @@ type stepJSON struct {
 	Direction string `json:"direction,omitempty"`
 	Frontier  int64  `json:"frontier_edges,omitempty"`
 	Unvisited int64  `json:"unvisited_edges,omitempty"`
+	Retries   int64  `json:"retries,omitempty"`
+	Stalled   bool   `json:"stalled,omitempty"`
 }
 
 // RunStart implements obs.Sink.
@@ -242,6 +248,10 @@ func (l *runLog) Step(st obs.StepStats) {
 	l.mu.Lock()
 	if r := l.current(); r != nil {
 		r.lastStep = st.Step
+		r.retries += st.Retries
+		if st.Stalled {
+			r.stalls++
+		}
 		if len(r.steps) < maxStepsPerRun {
 			r.steps = append(r.steps, stepJSON{
 				Step:      st.Step,
@@ -251,6 +261,8 @@ func (l *runLog) Step(st obs.StepStats) {
 				Direction: st.Direction,
 				Frontier:  st.FrontierEdges,
 				Unvisited: st.UnvisitedEdges,
+				Retries:   st.Retries,
+				Stalled:   st.Stalled,
 			})
 		} else {
 			r.truncated++
@@ -295,6 +307,8 @@ func (l *runLog) snapshot() []runJSON {
 			Done:      r.done,
 			AgeUs:     float64(now.Sub(r.started).Nanoseconds()) / 1e3,
 			Truncated: r.truncated,
+			Retries:   r.retries,
+			Stalls:    r.stalls,
 			Steps:     append([]stepJSON(nil), r.steps...),
 		}
 		if r.done {

@@ -41,6 +41,9 @@ type Metrics struct {
 	physical    *metrics.Counter
 	delivered   *metrics.Counter
 	received    *metrics.Counter
+	retries     *metrics.Counter
+	stalls      *metrics.Counter
+	fallbacks   *metrics.Counter
 	dirSteps    map[string]*metrics.Counter
 
 	workers   *metrics.Gauge
@@ -86,6 +89,9 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		physical:    reg.Counter("graphxmt_messages_physical_total", "physically materialized outgoing records"),
 		delivered:   reg.Counter("graphxmt_messages_delivered_total", "messages delivered into inboxes (after combining)"),
 		received:    reg.Counter("graphxmt_messages_received_total", "messages consumed from inboxes"),
+		retries:     reg.Counter("graphxmt_retries_total", "superstep re-executions after trapped faults (deterministic retry)"),
+		stalls:      reg.Counter("graphxmt_watchdog_stalls_total", "supersteps that outlived the watchdog deadline"),
+		fallbacks:   reg.Counter("graphxmt_ckpt_fallback_total", "damaged checkpoints skipped by the resume fallback chain"),
 		dirSteps:    map[string]*metrics.Counter{},
 		workers:     reg.Gauge("graphxmt_run_workers", "host worker count of the current run"),
 		vertices:    reg.Gauge("graphxmt_graph_vertices", "vertex count of the current run's graph"),
@@ -165,6 +171,10 @@ func (m *Metrics) Step(st StepStats) {
 	m.physical.Add(st.SentPhysical)
 	m.delivered.Add(st.Delivered)
 	m.received.Add(st.Received)
+	m.retries.Add(st.Retries)
+	if st.Stalled {
+		m.stalls.Inc()
+	}
 	m.scratch.Set(st.ScratchBytes)
 	if st.Direction != "" {
 		if c, ok := m.dirSteps[st.Direction]; ok {
@@ -178,6 +188,12 @@ func (m *Metrics) Step(st StepStats) {
 		m.busyPerm.Set(int64(m.curBusy) * 1000 / (int64(m.curWall) * int64(m.curWkrs)))
 	}
 	m.curWall, m.curBusy = 0, 0
+}
+
+// NoteFallback implements FallbackNoter: each damaged checkpoint the
+// resume fallback chain skips bumps graphxmt_ckpt_fallback_total.
+func (m *Metrics) NoteFallback(path string, cause error) {
+	m.fallbacks.Inc()
 }
 
 // Mem implements Sink.

@@ -41,6 +41,10 @@ type reportRun struct {
 	// decision; the dir/front/unvis columns render only then, so runs
 	// without the direction layer keep the legacy table shape.
 	hasDir bool
+	// hasRetry marks that at least one superstep was retried or stalled;
+	// the retry/stall columns render only then — clean runs (supervised
+	// or not) keep the legacy table shape.
+	hasRetry bool
 
 	memFirst, memLast MemSample
 	memPeak           uint64
@@ -53,6 +57,8 @@ type stepRow struct {
 	scratch                           int64
 	direction                         string
 	frontier, unvisited               int64
+	retries                           int64
+	stalled                           bool
 	hasStats                          bool
 	phases                            map[string]time.Duration
 
@@ -140,6 +146,10 @@ func (r *Report) Step(st StepStats) {
 	if st.Direction != "" {
 		run.hasDir = true
 	}
+	row.retries, row.stalled = st.Retries, st.Stalled
+	if st.Retries > 0 || st.Stalled {
+		run.hasRetry = true
+	}
 	row.hasStats = true
 }
 
@@ -201,6 +211,9 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 	if r.hasDir {
 		fmt.Fprintf(w, " %4s %10s %10s", "dir", "front", "unvis")
 	}
+	if r.hasRetry {
+		fmt.Fprintf(w, " %5s %5s", "retry", "stall")
+	}
 	fmt.Fprintf(w, " %6s", "imbal")
 	for _, name := range r.phaseOrder {
 		fmt.Fprintf(w, " %10s", tail(name, 10))
@@ -212,11 +225,11 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 		head := maxRows * 3 / 4
 		tail := maxRows - head
 		elided = len(rows) - head - tail
-		printRows(w, rows[:head], r.phaseOrder, r.hasDir)
+		printRows(w, rows[:head], r.phaseOrder, r.hasDir, r.hasRetry)
 		fmt.Fprintf(w, "%6s  ... %d supersteps elided ...\n", "", elided)
 		rows = rows[len(rows)-tail:]
 	}
-	printRows(w, rows, r.phaseOrder, r.hasDir)
+	printRows(w, rows, r.phaseOrder, r.hasDir, r.hasRetry)
 
 	// Phase totals with share of wall time.
 	fmt.Fprintf(w, "phases:")
@@ -273,7 +286,7 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 	return nil
 }
 
-func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir bool) {
+func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir, hasRetry bool) {
 	for _, row := range rows {
 		if row.hasStats {
 			fmt.Fprintf(w, "%6d %10d %10d %10d %10d %9s", row.step, row.active, row.sent, row.physical, row.delivered, fmtBytes(uint64(row.scratch)))
@@ -286,6 +299,13 @@ func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir bool) {
 			} else {
 				fmt.Fprintf(w, " %4s %10s %10s", "-", "-", "-")
 			}
+		}
+		if hasRetry {
+			stall := "-"
+			if row.stalled {
+				stall = "yes"
+			}
+			fmt.Fprintf(w, " %5d %5s", row.retries, stall)
 		}
 		fmt.Fprintf(w, " %6s", fmtImbalance(row.chunks, row.busy, row.maxChunk))
 		for _, name := range phaseOrder {

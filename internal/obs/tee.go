@@ -95,3 +95,45 @@ func FindFlightDumper(s Sink) FlightDumper {
 	}
 	return nil
 }
+
+// FallbackNoter is implemented by sinks that want to hear about checkpoint
+// fallback: each time the resume chain (ckpt.ResumeLatestValid, wired
+// through core.Config.ResumeLatest) skips a damaged snapshot, NoteFallback
+// receives the skipped file's path and the validation error. Invoked
+// before RunStart, once per skipped checkpoint.
+type FallbackNoter interface {
+	NoteFallback(path string, cause error)
+}
+
+// FindFallbackNoter returns a FallbackNoter covering every sink reachable
+// from s — s itself, or the members of a TeeSink — or nil when none
+// implement the interface.
+func FindFallbackNoter(s Sink) FallbackNoter {
+	if t, ok := s.(*TeeSink); ok {
+		var out []FallbackNoter
+		for _, inner := range t.sinks {
+			if fn, ok := inner.(FallbackNoter); ok {
+				out = append(out, fn)
+			}
+		}
+		switch len(out) {
+		case 0:
+			return nil
+		case 1:
+			return out[0]
+		}
+		return multiNoter(out)
+	}
+	if fn, ok := s.(FallbackNoter); ok {
+		return fn
+	}
+	return nil
+}
+
+type multiNoter []FallbackNoter
+
+func (m multiNoter) NoteFallback(path string, cause error) {
+	for _, fn := range m {
+		fn.NoteFallback(path, cause)
+	}
+}
