@@ -7,6 +7,7 @@
 //	bspgraph -g graph.gxmt -alg cc|bfs|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
 //	         [-src -1] [-procs 128] [-rounds 30] [-workers N]
 //	         [-chunking degree|fixed] [-direction auto|push|pull]
+//	         [-graph-rep flat|compressed]
 //	         [-checkpoint-dir dir] [-ckpt-every 1] [-ckpt-keep 0] [-resume ckpt|auto]
 //	         [-retries N] [-step-timeout 0] [-run-timeout 0]
 //	         [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
@@ -16,6 +17,13 @@
 // the library or a weighted DIMACS file). The -obs-* flags export host
 // runtime observability (see docs/OBSERVABILITY.md): per-superstep phase
 // spans, worker utilization, and memory samples.
+//
+// The graph file's format is detected from its content: GXMTCSR1 (flat
+// binary snapshot), GXMTCSR2 (compressed, loaded zero-copy via mmap),
+// gzip-wrapped either, DIMACS text, or a plain edge list. -graph-rep
+// forces the in-memory adjacency representation after loading; results
+// are bit-identical either way (the representation trades decode time for
+// memory bandwidth and residency — see docs/PERFORMANCE.md).
 //
 // -http serves the live introspection endpoint while the run executes:
 // /metrics (Prometheus text exposition), /runs and /runs/current (JSON run
@@ -55,6 +63,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"graphxmt/internal/bspalg"
 	"graphxmt/internal/ckpt"
@@ -85,6 +94,7 @@ func main() {
 	faultPlan := flag.String("fault-plan", "", "fault-injection plan, e.g. \"kill@2;panic@3:17\" (testing)")
 	chunking := flag.String("chunking", "degree", "sweep chunk schedule: degree (edge-work weighted) or fixed (vertex count)")
 	direction := flag.String("direction", "auto", "superstep direction: auto (adaptive push/pull), push (forced scatter), pull (pull every eligible superstep)")
+	graphRep := flag.String("graph-rep", "", "force the adjacency representation: flat or compressed (default: as loaded)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	liveFlags := live.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -138,6 +148,12 @@ func main() {
 	dir, ok := core.ParseDirection(strings.TrimSpace(*direction))
 	if !ok {
 		usage("-direction must be auto, push or pull, got %q", *direction)
+	}
+	var rep graph.Rep
+	if s := strings.TrimSpace(*graphRep); s != "" {
+		if rep, ok = graph.ParseRep(s); !ok {
+			usage("-graph-rep must be flat or compressed, got %q", *graphRep)
+		}
 	}
 	name := strings.TrimSpace(*alg)
 	resumeLatest := false
@@ -203,11 +219,21 @@ func main() {
 			}
 		}()
 	}
-	g, err := graphio.LoadFile(*path)
+	// Open detects the format from content (CSR1, CSR2, gzip, DIMACS, or
+	// edge-list text); a CSR2 file is mmap'd zero-copy, so the closer must
+	// outlive every use of the graph.
+	loadStart := time.Now()
+	g, gCloser, err := graphio.Open(*path)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("loaded", g)
+	defer gCloser.Close()
+	if rep != "" && g.Rep() != rep {
+		if g, err = graph.WithRep(g, rep); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("loaded %v (%s adjacency) in %v\n", g, g.Rep(), time.Since(loadStart).Round(time.Microsecond))
 
 	model := machine.NewAnalytic(machine.DefaultConfig())
 	rec := trace.NewRecorder()

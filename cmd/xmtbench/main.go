@@ -9,7 +9,7 @@
 //
 //	xmtbench [-exp all|table1|fig1|fig2|fig3|fig4|aux|ablation]
 //	         [-scale 16] [-ef 16] [-seed 1] [-procs 128] [-model analytic|des]
-//	         [-direction auto|push|pull]
+//	         [-direction auto|push|pull] [-graph-rep flat|compressed]
 //	         [-retries N] [-step-timeout 0] [-run-timeout 0]
 //	         [-workers N] [-obs-format report|jsonl|chrome] [-obs-out out] [-pprof addr|file]
 //	         [-http host:port] [-http-linger 0s]
@@ -34,6 +34,7 @@ import (
 
 	"graphxmt/internal/core"
 	"graphxmt/internal/experiments"
+	"graphxmt/internal/graph"
 	"graphxmt/internal/graph500"
 	"graphxmt/internal/machine"
 	"graphxmt/internal/obs"
@@ -48,6 +49,7 @@ func main() {
 	procs := flag.Int("procs", 128, "simulated machine size in processors")
 	model := flag.String("model", "analytic", "machine model: analytic or des")
 	direction := flag.String("direction", "auto", "superstep direction for BSP runs: auto, push or pull")
+	graphRep := flag.String("graph-rep", "", "adjacency representation for the workload: flat or compressed (default: flat)")
 	retries := flag.Int("retries", 0, "re-execute a faulting superstep up to N times in every BSP pass (0 = off)")
 	stepTimeout := flag.Duration("step-timeout", 0, "per-superstep watchdog deadline for every BSP pass (0 = off)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-pass engine run deadline (0 = off)")
@@ -68,6 +70,12 @@ func main() {
 	dir, ok := core.ParseDirection(strings.TrimSpace(*direction))
 	if !ok {
 		usage("-direction must be auto, push or pull, got %q", *direction)
+	}
+	var rep graph.Rep
+	if s := strings.TrimSpace(*graphRep); s != "" {
+		if rep, ok = graph.ParseRep(s); !ok {
+			usage("-graph-rep must be flat or compressed, got %q", *graphRep)
+		}
 	}
 	// Defaults of 0 mean off; an explicit zero or negative value is rejected
 	// rather than silently disabling the supervision the user asked for.
@@ -130,7 +138,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("workload: %v (generated in %v)\n\n", g, time.Since(start).Round(time.Millisecond))
+	if rep != "" && g.Rep() != rep {
+		if g, err = graph.WithRep(g, rep); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("workload: %v (%s adjacency, generated in %v)\n\n", g, g.Rep(), time.Since(start).Round(time.Millisecond))
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	ran := false

@@ -106,6 +106,13 @@ type Fingerprint struct {
 	// keep the bound it started with for Result.RetriesPerStep to stay
 	// comparable. v1-v4 checkpoints decode as 0 (retry did not exist).
 	Retries int64
+	// Rep is the graph's adjacency representation ("flat" or "compressed"
+	// — graph.Rep). GraphCRC hashes the stored arrays — the flat adjacency
+	// or the delta-varint bytes — so the same logical graph fingerprints
+	// differently per representation, and a run may only resume under the
+	// representation it checkpointed with. v1-v5 checkpoints decode as
+	// "flat", the only representation that existed then.
+	Rep string
 }
 
 // Check compares fp (from a checkpoint) against want (the resuming run)
@@ -128,6 +135,7 @@ func (fp Fingerprint) Check(want Fingerprint) error {
 		{"max supersteps", fmt.Sprint(fp.MaxSupersteps), fmt.Sprint(want.MaxSupersteps)},
 		{"max messages", fmt.Sprint(fp.MaxMessages), fmt.Sprint(want.MaxMessages)},
 		{"max retries", fmt.Sprint(fp.Retries), fmt.Sprint(want.Retries)},
+		{"representation", fp.Rep, want.Rep},
 		{"cost schedule", fmt.Sprintf("%08x", fp.CostsCRC), fmt.Sprintf("%08x", want.CostsCRC)},
 	}
 	for _, c := range cs {

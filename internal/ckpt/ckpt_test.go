@@ -38,6 +38,7 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 			CostsCRC:      rng.Uint32(),
 			Direction:     []string{"auto", "push", "pull"}[rng.Intn(3)],
 			Retries:       int64(rng.Intn(4)),
+			Rep:           []string{"flat", "compressed"}[rng.Intn(2)],
 		},
 		Step:   step,
 		States: make([]int64, n),
@@ -421,13 +422,16 @@ func TestLatestPathAndPrune(t *testing.T) {
 }
 
 // spliceVersion reconstructs the exact byte layout of an older-format file
-// from a current-version (v4) encode of s: every target version drops the
-// v4 fields (the Fingerprint Direction string after Schedule and the
-// Directions/Visited arrays after DeliveredPerStep); version 2 also drops
-// the broadcast-record arrays (added in v3, after MsgVal); version 1
+// from a current-version encode of s: versions below 6 drop the
+// Fingerprint Rep string (after Retries); versions below 5 also drop
+// FP.Retries and the RetriesPerStep array; versions below 4 drop the
+// Fingerprint Direction string after Schedule and the Directions/Visited
+// arrays after DeliveredPerStep; version 2 also drops the
+// broadcast-record arrays (added in v3, after MsgVal); version 1
 // additionally drops the Schedule string. The header version and checksum
-// are rewritten to match. Offsets are computed against the original v4
-// layout and spliced back to front so earlier offsets stay valid.
+// are rewritten to match. Offsets are computed against the original
+// current-version layout and spliced back to front so earlier offsets
+// stay valid.
 func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []byte {
 	t.Helper()
 	const header = 16
@@ -440,11 +444,14 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 	schedLen := 4 + len(s.FP.Schedule)
 	dirStrOff := schedOff + schedLen
 	dirStrLen := 4 + len(s.FP.Direction)
-	// FP.Retries (v5) sits after the Direction string.
+	// FP.Retries (v5) sits after the Direction string, and the FP.Rep
+	// string (v6) after that.
 	retryFPOff := dirStrOff + dirStrLen
 	const retryFPLen = 8
+	repStrOff := retryFPOff + retryFPLen
+	repStrLen := 4 + len(s.FP.Rep)
 	// Broadcast arrays sit after MsgVal: three length-prefixed int64 slices.
-	bcastOff := retryFPOff + retryFPLen +
+	bcastOff := repStrOff + repStrLen +
 		8 + 8 + 4 + // MaxSupersteps, MaxMessages, CostsCRC
 		8 + 8 + // Step, Live
 		8 + 8*len(s.States) +
@@ -462,14 +469,21 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 	retryArrOff := dirArrOff + dirArrLen
 	retryArrLen := 8 + 8*len(s.RetriesPerStep)
 
-	out = append(out[:retryArrOff], out[retryArrOff+retryArrLen:]...)
+	if ver < 5 {
+		out = append(out[:retryArrOff], out[retryArrOff+retryArrLen:]...)
+	}
 	if ver < 4 {
 		out = append(out[:dirArrOff], out[dirArrOff+dirArrLen:]...)
 	}
 	if ver < 3 {
 		out = append(out[:bcastOff], out[bcastOff+bcastLen:]...)
 	}
-	out = append(out[:retryFPOff], out[retryFPOff+retryFPLen:]...)
+	if ver < 6 {
+		out = append(out[:repStrOff], out[repStrOff+repStrLen:]...)
+	}
+	if ver < 5 {
+		out = append(out[:retryFPOff], out[retryFPOff+retryFPLen:]...)
+	}
 	if ver < 4 {
 		out = append(out[:dirStrOff], out[dirStrOff+dirStrLen:]...)
 	}
@@ -515,6 +529,7 @@ func TestLoadVersion1DefaultsSchedule(t *testing.T) {
 	want.FP.Schedule = "fixed"
 	want.FP.Direction = "auto"
 	want.FP.Retries = 0
+	want.FP.Rep = "flat"
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
 	want.Directions, want.Visited = nil, nil
 	want.RetriesPerStep = nil
@@ -552,6 +567,7 @@ func TestLoadVersion2NoBroadcasts(t *testing.T) {
 	want := *s
 	want.FP.Direction = "auto"
 	want.FP.Retries = 0
+	want.FP.Rep = "flat"
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
 	want.Directions, want.Visited = nil, nil
 	want.RetriesPerStep = nil
@@ -590,6 +606,7 @@ func TestLoadVersion3NoDirection(t *testing.T) {
 	want := *s
 	want.FP.Direction = "auto"
 	want.FP.Retries = 0
+	want.FP.Rep = "flat"
 	want.Directions, want.Visited = nil, nil
 	want.RetriesPerStep = nil
 	if !reflect.DeepEqual(&want, got) {
@@ -624,8 +641,40 @@ func TestLoadVersion4NoRetries(t *testing.T) {
 	}
 	want := *s
 	want.FP.Retries = 0
+	want.FP.Rep = "flat"
 	want.RetriesPerStep = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v4 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
+	}
+}
+
+// TestLoadVersion5NoRep: a version-5 checkpoint (written before compressed
+// adjacency existed) must load with Rep "flat" — the only representation
+// version-5 runs could have used — with retry state intact.
+func TestLoadVersion5NoRep(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := randSnapshot(rng)
+	dir := t.TempDir()
+	path, err := ckpt.WriteFile(dir, s, ckpt.FileName(s.Step), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v5 := spliceVersion(t, s, data, 5)
+	v5path := filepath.Join(dir, "v5"+ckpt.Ext)
+	if err := os.WriteFile(v5path, v5, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(v5path)
+	if err != nil {
+		t.Fatalf("loading version-5 checkpoint: %v", err)
+	}
+	want := *s
+	want.FP.Rep = "flat"
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("v5 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
 }

@@ -43,9 +43,15 @@ import (
 //	    Snapshot gains RetriesPerStep, the per-superstep retry counts
 //	    (encoded after Visited; empty in older checkpoints and when the
 //	    retry supervisor was inactive).
+//	6 — graph representations: Fingerprint gains Rep (the graph's adjacency
+//	    representation, "flat" or "compressed", encoded after Retries).
+//	    The GraphCRC of a compressed graph hashes the delta-varint bytes
+//	    directly, so the same logical graph has a different CRC per
+//	    representation; older checkpoints decode as "flat", the only
+//	    representation that existed then.
 const (
 	magic      = "GXMTCKP1"
-	version    = 5
+	version    = 6
 	minVersion = 1
 
 	// Ext is the checkpoint file extension.
@@ -259,6 +265,7 @@ func Encode(s *Snapshot) []byte {
 	e.str(s.FP.Schedule)
 	e.str(s.FP.Direction)
 	e.i64(s.FP.Retries)
+	e.str(s.FP.Rep)
 	e.i64(s.FP.MaxSupersteps)
 	e.i64(s.FP.MaxMessages)
 	e.u32(s.FP.CostsCRC)
@@ -342,6 +349,13 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	}
 	if ver >= 5 {
 		s.FP.Retries = d.i64()
+	}
+	if ver >= 6 {
+		s.FP.Rep = d.str()
+	} else {
+		// Pre-v6 checkpoints predate compressed adjacency; every run was
+		// flat.
+		s.FP.Rep = "flat"
 	}
 	s.FP.MaxSupersteps = d.i64()
 	s.FP.MaxMessages = d.i64()

@@ -28,6 +28,9 @@ const engineBenchScale = 18
 var (
 	engineBenchOnce  sync.Once
 	engineBenchGraph *graph.Graph
+
+	engineBenchCompOnce sync.Once
+	engineBenchComp     *graph.Graph
 )
 
 func engineGraph(b *testing.B) *graph.Graph {
@@ -40,6 +43,21 @@ func engineGraph(b *testing.B) *graph.Graph {
 		engineBenchGraph = g
 	})
 	return engineBenchGraph
+}
+
+// engineGraphCompressed is the delta-varint twin of engineGraph — same
+// logical graph, compressed adjacency — for the representation A/B pair.
+func engineGraphCompressed(b *testing.B) *graph.Graph {
+	b.Helper()
+	g := engineGraph(b)
+	engineBenchCompOnce.Do(func() {
+		c, err := graph.Compress(g)
+		if err != nil {
+			panic(err)
+		}
+		engineBenchComp = c
+	})
+	return engineBenchComp
 }
 
 // benchFloodMin floods the minimum vertex ID — the dense CC/BFS superstep
@@ -91,6 +109,15 @@ func BenchmarkEngineDenseFlood(b *testing.B) {
 func BenchmarkEngineDenseFloodExpand(b *testing.B) {
 	g := engineGraph(b)
 	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}, ExpandBroadcasts: true})
+}
+
+// BenchmarkEngineDenseFloodCompressed is the representation A/B control:
+// the same dense flood over the delta-varint compressed graph, so the
+// streaming-decode cost on the engine's scatter and worklist sweeps is the
+// DenseFloodCompressed / DenseFlood ratio on identical logical work.
+func BenchmarkEngineDenseFloodCompressed(b *testing.B) {
+	g := engineGraphCompressed(b)
+	benchRun(b, core.Config{Graph: g, Program: benchFloodMin{}})
 }
 
 func BenchmarkEngineDenseFloodCombiner(b *testing.B) {

@@ -88,7 +88,10 @@ func crcInt64s(h hash.Hash32, s []int64) {
 
 // graphCRC checksums the graph's identity: vertex count, flags, and the
 // CSR arrays (plus weights when present). Computed once per checkpointed
-// run; O(E) but pure streaming.
+// run; O(E) but pure streaming. On compressed graphs the delta-varint
+// bytes are hashed directly — never decoded — so the CRC is O(1) extra
+// memory, but it differs from the flat CRC of the same graph: the
+// representation is part of the fingerprint (see Fingerprint.Rep).
 func graphCRC(g *graph.Graph) uint32 {
 	h := crc32.New(ckptCRCTable)
 	var hdr [10]byte
@@ -101,11 +104,14 @@ func graphCRC(g *graph.Graph) uint32 {
 	}
 	h.Write(hdr[:])
 	crcInt64s(h, g.Offsets())
-	crcInt64s(h, g.Adjacency())
+	if g.Compressed() {
+		crcInt64s(h, g.CompressedOffsets())
+		h.Write(g.CompressedBlob())
+	} else {
+		crcInt64s(h, g.Adjacency())
+	}
 	if g.Weighted() {
-		for v := int64(0); v < g.NumVertices(); v++ {
-			crcInt64s(h, g.NeighborWeights(v))
-		}
+		crcInt64s(h, g.Weights())
 	}
 	return h.Sum32()
 }
@@ -144,6 +150,7 @@ func runFingerprint(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, co
 		CostsCRC:      costsCRC(costs),
 		Direction:     cfg.Direction.String(),
 		Retries:       int64(max(cfg.MaxRetries, 0)),
+		Rep:           string(g.Rep()),
 	}
 }
 

@@ -59,6 +59,7 @@ type VertexContext struct {
 	id     int64
 	msgs   []int64
 	halt   bool
+	nbrBuf []int64 // decode buffer for Neighbors on compressed graphs; reused across vertices
 }
 
 // ID returns the vertex's identifier.
@@ -82,8 +83,17 @@ func (v *VertexContext) Messages() []int64 { return v.msgs }
 func (v *VertexContext) Degree() int64 { return v.engine.graph.Degree(v.id) }
 
 // Neighbors returns the vertex's adjacency list ("the vertex implicitly
-// knows its neighbors"). Read-only.
-func (v *VertexContext) Neighbors() []int64 { return v.engine.graph.Neighbors(v.id) }
+// knows its neighbors"). Read-only, and valid only within Compute: on
+// compressed graphs the slice is a per-context decode buffer reused for
+// the next vertex.
+func (v *VertexContext) Neighbors() []int64 {
+	g := v.engine.graph
+	if g.Compressed() {
+		v.nbrBuf = g.DecodeNeighbors(v.id, v.nbrBuf)
+		return v.nbrBuf
+	}
+	return g.Neighbors(v.id)
+}
 
 // NeighborWeights returns the edge weights parallel to Neighbors. It
 // panics on unweighted graphs, like graph.Graph.NeighborWeights.
@@ -132,8 +142,15 @@ func (v *VertexContext) SendToNeighbors(value int64) {
 		// Expanded per-edge messages still count as broadcast traffic, not
 		// unicast — appended directly so the unicast counter (and therefore
 		// the direction decision) is identical under both treatments.
-		for _, w := range e.graph.Neighbors(v.id) {
-			e.sendBuf = append(e.sendBuf, Message{Dest: w, Value: value})
+		if e.graph.Compressed() {
+			it := e.graph.NeighborDecoder(v.id)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				e.sendBuf = append(e.sendBuf, Message{Dest: w, Value: value})
+			}
+		} else {
+			for _, w := range e.graph.Neighbors(v.id) {
+				e.sendBuf = append(e.sendBuf, Message{Dest: w, Value: value})
+			}
 		}
 		e.sent += e.graph.Degree(v.id)
 		return

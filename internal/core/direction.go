@@ -125,7 +125,7 @@ type dirState struct {
 	mode   DirectionMode
 	pullOK bool // graph+program admit a pull sweep at all
 
-	// totalEdges is len(g.Adjacency()); visitedEdges accumulates the
+	// totalEdges is g.NumEdges(); visitedEdges accumulates the
 	// degree sum of visited vertices (a vertex is visited once it has
 	// received a message or sent one). Both are logical quantities
 	// derived from the CSR degree prefix sum — never from delivery
@@ -156,7 +156,7 @@ func startDir(cfg *Config, g *graph.Graph) (*dirState, error) {
 	}
 	ds := &dirState{
 		mode:       cfg.Direction,
-		totalEdges: int64(len(g.Adjacency())),
+		totalEdges: g.NumEdges(),
 		visited:    make([]bool, g.NumVertices()),
 	}
 	// The pull sweep reads broadcast records through each destination's

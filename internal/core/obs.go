@@ -9,7 +9,10 @@ package core
 // bit-identical with or without a sink (see determinism_test.go).
 
 import (
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"graphxmt/internal/graph"
@@ -129,7 +132,35 @@ func (o *obsRun) sampleMem(step int) {
 		HeapSys:    ms.HeapSys,
 		NumGC:      ms.NumGC,
 		PauseTotal: time.Duration(ms.PauseTotalNs),
+		VmHWM:      readVmHWM(),
 	})
+}
+
+// readVmHWM reads the process peak RSS from /proc/self/status, in bytes.
+// Heap figures from runtime.MemStats miss mmap'd graph pages (the
+// compressed zero-copy load path), so peak RSS is the honest
+// graph-resident number. Returns 0 (sample omitted from reports) on any
+// failure — non-linux hosts have no procfs.
+func readVmHWM() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10 // procfs reports kB
+	}
+	return 0
 }
 
 // finish restores the previous worker timer, takes a final memory sample,

@@ -711,6 +711,7 @@ func (s *runScratch) expandTraffic(sendBuf []Message, bcasts []bcastRec, g *grap
 	}
 	out = out[:logical]
 	pos, ui := 0, 0
+	comp := g.Compressed()
 	for _, r := range bcasts {
 		for ui < int(r.seq) {
 			out[pos] = sendBuf[ui]
@@ -718,9 +719,17 @@ func (s *runScratch) expandTraffic(sendBuf []Message, bcasts []bcastRec, g *grap
 			ui++
 		}
 		val := r.val
-		for _, w := range g.Neighbors(r.src) {
-			out[pos] = Message{Dest: w, Value: val}
-			pos++
+		if comp {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				out[pos] = Message{Dest: w, Value: val}
+				pos++
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				out[pos] = Message{Dest: w, Value: val}
+				pos++
+			}
 		}
 	}
 	for ui < len(sendBuf) {
@@ -893,7 +902,7 @@ func (s *runScratch) deliverBcastsDense(bcasts []bcastRec, logical int64, g *gra
 	}
 	pull := dir == DirPull
 	if dir == DirAuto {
-		pull = !g.Directed() && logical*2 >= int64(len(g.Adjacency()))
+		pull = !g.Directed() && logical*2 >= g.NumEdges()
 	}
 	if pull {
 		s.fillBcastLookaside(bcasts, combine, n, st)
@@ -914,9 +923,17 @@ func (s *runScratch) seqBcastScatter(bcasts []bcastRec, logical int64, g *graph.
 	for i := range off {
 		off[i] = 0
 	}
+	comp := g.Compressed()
 	for _, r := range bcasts {
-		for _, w := range g.Neighbors(r.src) {
-			off[w+1]++
+		if comp {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				off[w+1]++
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				off[w+1]++
+			}
 		}
 	}
 	for v := int64(0); v < n; v++ {
@@ -928,9 +945,17 @@ func (s *runScratch) seqBcastScatter(bcasts []bcastRec, logical int64, g *graph.
 	copy(next, off[:n])
 	for _, r := range bcasts {
 		v := r.val
-		for _, w := range g.Neighbors(r.src) {
-			val[next[w]] = v
-			next[w]++
+		if comp {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				val[next[w]] = v
+				next[w]++
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				val[next[w]] = v
+				next[w]++
+			}
 		}
 	}
 	*inboxVal = val
@@ -969,11 +994,19 @@ func (s *runScratch) parBcastScatter(bcasts []bcastRec, logical int64, g *graph.
 	counts := s.counts
 	par.FillInt32(counts, 0)
 
+	comp := g.Compressed()
 	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
 		rc := int64(r)
 		for _, rec := range bcasts[lo:hi] {
-			for _, w := range g.Neighbors(rec.src) {
-				counts[w*rw+rc]++
+			if comp {
+				it := g.NeighborDecoder(rec.src)
+				for w, ok := it.Next(); ok; w, ok = it.Next() {
+					counts[w*rw+rc]++
+				}
+			} else {
+				for _, w := range g.Neighbors(rec.src) {
+					counts[w*rw+rc]++
+				}
 			}
 		}
 	})
@@ -992,11 +1025,21 @@ func (s *runScratch) parBcastScatter(bcasts []bcastRec, logical int64, g *graph.
 		rc := int64(r)
 		for _, rec := range bcasts[lo:hi] {
 			v := rec.val
-			for _, w := range g.Neighbors(rec.src) {
-				i := w*rw + rc
-				p := counts[i]
-				counts[i] = p + 1
-				val[p] = v
+			if comp {
+				it := g.NeighborDecoder(rec.src)
+				for w, ok := it.Next(); ok; w, ok = it.Next() {
+					i := w*rw + rc
+					p := counts[i]
+					counts[i] = p + 1
+					val[p] = v
+				}
+			} else {
+				for _, w := range g.Neighbors(rec.src) {
+					i := w*rw + rc
+					p := counts[i]
+					counts[i] = p + 1
+					val[p] = v
+				}
 			}
 		}
 	})
@@ -1041,16 +1084,30 @@ func (s *runScratch) seqBcastPullScatter(g *graph.Graph, n int64, inboxOff *[]in
 	// branch would mispredict on a large fraction of the edge walk.
 	val := ensureInt64(*inboxVal, int(logical)+1)
 	var pos int64
+	comp := g.Compressed()
 	for v := int64(0); v < n; v++ {
 		off[v] = pos
-		for _, w := range g.Neighbors(v) {
-			slot := look[w]
-			val[pos] = slot.val
-			var hit int64
-			if slot.stamp == st {
-				hit = 1
+		if comp {
+			it := g.NeighborDecoder(v)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				slot := look[w]
+				val[pos] = slot.val
+				var hit int64
+				if slot.stamp == st {
+					hit = 1
+				}
+				pos += hit
 			}
-			pos += hit
+		} else {
+			for _, w := range g.Neighbors(v) {
+				slot := look[w]
+				val[pos] = slot.val
+				var hit int64
+				if slot.stamp == st {
+					hit = 1
+				}
+				pos += hit
+			}
 		}
 	}
 	off[n] = pos
@@ -1083,15 +1140,27 @@ func (s *runScratch) parBcastPullScatter(g *graph.Graph, n int64, inboxOff *[]in
 	// range's cursor sits exactly on the next range's first slot once its
 	// own entries are exhausted — an unconditional slack store there would
 	// race with the neighboring worker.
+	comp := g.Compressed()
 	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
 		var cnt int64
 		for v := lo; v < hi; v++ {
-			for _, w := range g.Neighbors(int64(v)) {
-				var hit int64
-				if look[w].stamp == st {
-					hit = 1
+			if comp {
+				it := g.NeighborDecoder(int64(v))
+				for w, ok := it.Next(); ok; w, ok = it.Next() {
+					var hit int64
+					if look[w].stamp == st {
+						hit = 1
+					}
+					cnt += hit
 				}
-				cnt += hit
+			} else {
+				for _, w := range g.Neighbors(int64(v)) {
+					var hit int64
+					if look[w].stamp == st {
+						hit = 1
+					}
+					cnt += hit
+				}
 			}
 		}
 		rangeCnt[r] = cnt
@@ -1103,10 +1172,20 @@ func (s *runScratch) parBcastPullScatter(g *graph.Graph, n int64, inboxOff *[]in
 		pos := rangeCnt[r]
 		for v := lo; v < hi; v++ {
 			off[v] = pos
-			for _, w := range g.Neighbors(int64(v)) {
-				if slot := look[w]; slot.stamp == st {
-					val[pos] = slot.val
-					pos++
+			if comp {
+				it := g.NeighborDecoder(int64(v))
+				for w, ok := it.Next(); ok; w, ok = it.Next() {
+					if slot := look[w]; slot.stamp == st {
+						val[pos] = slot.val
+						pos++
+					}
+				}
+			} else {
+				for _, w := range g.Neighbors(int64(v)) {
+					if slot := look[w]; slot.stamp == st {
+						val[pos] = slot.val
+						pos++
+					}
 				}
 			}
 		}
@@ -1141,17 +1220,32 @@ func (s *runScratch) seqBcastPull(g *graph.Graph, n int64, combine func(a, b int
 	off := *inboxOff
 	val := ensureInt64(*inboxVal, int(n))
 	var pos int64
+	comp := g.Compressed()
 	for v := int64(0); v < n; v++ {
 		off[v] = pos
 		var acc int64
 		found := false
-		for _, w := range g.Neighbors(v) {
-			if slot := look[w]; slot.stamp == st {
-				if found {
-					acc = combine(acc, slot.val)
-				} else {
-					acc = slot.val
-					found = true
+		if comp {
+			it := g.NeighborDecoder(v)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				if slot := look[w]; slot.stamp == st {
+					if found {
+						acc = combine(acc, slot.val)
+					} else {
+						acc = slot.val
+						found = true
+					}
+				}
+			}
+		} else {
+			for _, w := range g.Neighbors(v) {
+				if slot := look[w]; slot.stamp == st {
+					if found {
+						acc = combine(acc, slot.val)
+					} else {
+						acc = slot.val
+						found = true
+					}
 				}
 			}
 		}
@@ -1183,13 +1277,24 @@ func (s *runScratch) parBcastPull(g *graph.Graph, n int64, combine func(a, b int
 	s.rangeCnt = ensureInt64(s.rangeCnt, numR)
 	rangeCnt := s.rangeCnt
 	look := s.bcastLook
+	comp := g.Compressed()
 	par.ForBoundaryChunks(bnds, func(r, lo, hi int) {
 		var cnt int64
 		for v := lo; v < hi; v++ {
-			for _, w := range g.Neighbors(int64(v)) {
-				if look[w].stamp == st {
-					cnt++
-					break
+			if comp {
+				it := g.NeighborDecoder(int64(v))
+				for w, ok := it.Next(); ok; w, ok = it.Next() {
+					if look[w].stamp == st {
+						cnt++
+						break
+					}
+				}
+			} else {
+				for _, w := range g.Neighbors(int64(v)) {
+					if look[w].stamp == st {
+						cnt++
+						break
+					}
 				}
 			}
 		}
@@ -1204,13 +1309,27 @@ func (s *runScratch) parBcastPull(g *graph.Graph, n int64, combine func(a, b int
 			off[v] = pos
 			var acc int64
 			found := false
-			for _, w := range g.Neighbors(int64(v)) {
-				if slot := look[w]; slot.stamp == st {
-					if found {
-						acc = combine(acc, slot.val)
-					} else {
-						acc = slot.val
-						found = true
+			if comp {
+				it := g.NeighborDecoder(int64(v))
+				for w, ok := it.Next(); ok; w, ok = it.Next() {
+					if slot := look[w]; slot.stamp == st {
+						if found {
+							acc = combine(acc, slot.val)
+						} else {
+							acc = slot.val
+							found = true
+						}
+					}
+				}
+			} else {
+				for _, w := range g.Neighbors(int64(v)) {
+					if slot := look[w]; slot.stamp == st {
+						if found {
+							acc = combine(acc, slot.val)
+						} else {
+							acc = slot.val
+							found = true
+						}
 					}
 				}
 			}
@@ -1236,15 +1355,29 @@ func (s *runScratch) seqBcastCombine(bcasts []bcastRec, g *graph.Graph, n int64,
 	}
 	has, acc := s.has, s.acc
 	var delivered int64
+	comp := g.Compressed()
 	for _, r := range bcasts {
 		v := r.val
-		for _, w := range g.Neighbors(r.src) {
-			if has[w] {
-				acc[w] = combine(acc[w], v)
-			} else {
-				has[w] = true
-				acc[w] = v
-				delivered++
+		if comp {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				if has[w] {
+					acc[w] = combine(acc[w], v)
+				} else {
+					has[w] = true
+					acc[w] = v
+					delivered++
+				}
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				if has[w] {
+					acc[w] = combine(acc[w], v)
+				} else {
+					has[w] = true
+					acc[w] = v
+					delivered++
+				}
 			}
 		}
 	}
@@ -1273,14 +1406,28 @@ func (s *runScratch) bcastScatterSparse(bcasts []bcastRec, logical int64, g *gra
 	}
 	receivers := s.recvList[:0]
 	stamp, lo, hi := s.msgStamp, s.msgLo, s.msgHi
+	comp := g.Compressed()
 	for _, r := range bcasts {
-		for _, w := range g.Neighbors(r.src) {
-			if stamp[w] != st {
-				stamp[w] = st
-				hi[w] = 1
-				receivers = append(receivers, w)
-			} else {
-				hi[w]++
+		if comp {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				if stamp[w] != st {
+					stamp[w] = st
+					hi[w] = 1
+					receivers = append(receivers, w)
+				} else {
+					hi[w]++
+				}
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				if stamp[w] != st {
+					stamp[w] = st
+					hi[w] = 1
+					receivers = append(receivers, w)
+				} else {
+					hi[w]++
+				}
 			}
 		}
 	}
@@ -1294,9 +1441,17 @@ func (s *runScratch) bcastScatterSparse(bcasts []bcastRec, logical int64, g *gra
 	val := ensureInt64(*inboxVal, int(logical))
 	for _, r := range bcasts {
 		v := r.val
-		for _, w := range g.Neighbors(r.src) {
-			val[hi[w]] = v
-			hi[w]++
+		if comp {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				val[hi[w]] = v
+				hi[w]++
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				val[hi[w]] = v
+				hi[w]++
+			}
 		}
 	}
 	*inboxVal = val
@@ -1315,15 +1470,29 @@ func (s *runScratch) bcastCombineSparse(bcasts []bcastRec, g *graph.Graph, combi
 	}
 	receivers := s.recvList[:0]
 	stamp, lo, hi, acc := s.msgStamp, s.msgLo, s.msgHi, s.acc
+	comp := g.Compressed()
 	for _, r := range bcasts {
 		v := r.val
-		for _, w := range g.Neighbors(r.src) {
-			if stamp[w] != st {
-				stamp[w] = st
-				acc[w] = v
-				receivers = append(receivers, w)
-			} else {
-				acc[w] = combine(acc[w], v)
+		if comp {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				if stamp[w] != st {
+					stamp[w] = st
+					acc[w] = v
+					receivers = append(receivers, w)
+				} else {
+					acc[w] = combine(acc[w], v)
+				}
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				if stamp[w] != st {
+					stamp[w] = st
+					acc[w] = v
+					receivers = append(receivers, w)
+				} else {
+					acc[w] = combine(acc[w], v)
+				}
 			}
 		}
 	}
@@ -1731,10 +1900,20 @@ func (s *runScratch) nextWorklist(candidates []int64, step int, wake []int64, de
 		}
 	}
 	for _, r := range bcasts {
-		for _, w := range g.Neighbors(r.src) {
-			if stamp[w] != st {
-				stamp[w] = st
-				out = append(out, w)
+		if g.Compressed() {
+			it := g.NeighborDecoder(r.src)
+			for w, ok := it.Next(); ok; w, ok = it.Next() {
+				if stamp[w] != st {
+					stamp[w] = st
+					out = append(out, w)
+				}
+			}
+		} else {
+			for _, w := range g.Neighbors(r.src) {
+				if stamp[w] != st {
+					stamp[w] = st
+					out = append(out, w)
+				}
 			}
 		}
 	}

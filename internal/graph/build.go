@@ -156,8 +156,12 @@ func FromCSR(n int64, offsets, adj []int64, weights []int64, directed bool) (*Gr
 }
 
 // Transpose returns the graph with every directed entry reversed. For an
-// undirected graph it returns a structurally equal copy.
+// undirected graph it returns a structurally equal copy. A compressed
+// graph is transposed through its flat twin; the result is flat.
 func (g *Graph) Transpose() *Graph {
+	if g.Compressed() {
+		g = Decompress(g)
+	}
 	t := &Graph{
 		n:        g.n,
 		directed: g.directed,

@@ -1,0 +1,66 @@
+package graph_test
+
+import (
+	"errors"
+	"testing"
+
+	"graphxmt/internal/graph"
+)
+
+// FuzzDecodeAdjacency hammers the checked varint/delta decoder with
+// arbitrary byte blocks and degree/shape parameters. The contract under
+// fuzz: DecodeAdjacency either returns a fully in-range, length-deg
+// neighbor list, or a typed *graph.DecodeError — never a panic, and never
+// a read outside the block (a slice over-read would panic and fail the
+// fuzz run). Truncated blocks, overlong varints, and deltas that run past
+// the vertex count are the seeded corpus.
+func FuzzDecodeAdjacency(f *testing.F) {
+	// A valid block: neighbors {1,5,6} of vertex 3 in an 8-vertex graph —
+	// zigzag(1-3)=3, delta 4, delta 1.
+	f.Add(int64(3), int64(8), int64(3), []byte{0x03, 0x04, 0x01})
+	// Truncated mid-list and mid-varint.
+	f.Add(int64(3), int64(8), int64(3), []byte{0x03, 0x04})
+	f.Add(int64(3), int64(8), int64(2), []byte{0x03, 0x80})
+	// Overlong varint (11 continuation bytes) and 64-bit overflow.
+	f.Add(int64(0), int64(8), int64(1), []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add(int64(0), int64(8), int64(1), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	// First neighbor out of range (zigzag of a huge offset) and a delta
+	// that walks past n.
+	f.Add(int64(0), int64(2), int64(1), []byte{0x08})
+	f.Add(int64(0), int64(4), int64(2), []byte{0x02, 0x7f})
+	// Trailing garbage after a complete list.
+	f.Add(int64(3), int64(8), int64(3), []byte{0x03, 0x04, 0x01, 0x00})
+	// Degenerate shapes.
+	f.Add(int64(0), int64(0), int64(0), []byte{})
+	f.Add(int64(0), int64(4), int64(-1), []byte{0x00})
+
+	f.Fuzz(func(t *testing.T, src, n, deg int64, data []byte) {
+		if len(data) > 1<<16 || deg > 1<<16 {
+			return // bound the work per input, not the coverage
+		}
+		nbr, err := graph.DecodeAdjacency(src, n, deg, data, nil)
+		if err != nil {
+			var de *graph.DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("non-typed error %T: %v", err, err)
+			}
+			if de.Vertex != src {
+				t.Fatalf("error names vertex %d, want %d", de.Vertex, src)
+			}
+			if de.Offset < 0 || de.Offset > len(data) {
+				t.Fatalf("error offset %d outside block of %d bytes", de.Offset, len(data))
+			}
+			return
+		}
+		// Success: the decode consumed the whole block into exactly deg
+		// in-range neighbors.
+		if int64(len(nbr)) != deg {
+			t.Fatalf("decoded %d neighbors, want %d", len(nbr), deg)
+		}
+		for i, w := range nbr {
+			if w < 0 || w >= n {
+				t.Fatalf("neighbor %d = %d out of range [0,%d)", i, w, n)
+			}
+		}
+	})
+}

@@ -27,14 +27,25 @@ type Edge struct {
 }
 
 // Graph is an immutable CSR graph. The zero value is an empty graph.
+//
+// The adjacency is stored in one of two representations (see compressed.go):
+// flat (adj holds the int64 neighbor array) or delta-varint compressed
+// (coff/blob hold per-vertex byte offsets and the encoded byte stream; adj
+// is nil). The degree prefix sum (offsets) and the flat weight array are
+// identical in both.
 type Graph struct {
 	n        int64
 	offsets  []int64 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
-	adj      []int64
-	weights  []int64 // nil for unweighted; else parallel to adj
+	adj      []int64 // flat representation; nil when compressed
+	weights  []int64 // nil for unweighted; else parallel to the decoded adjacency
 	directed bool
 	sorted   bool  // every adjacency list is ascending
 	maxDeg   int64 // memoized maximum out-degree (computed at build time)
+
+	// Compressed representation (nil on flat graphs): the adjacency of v is
+	// the delta-varint stream blob[coff[v]:coff[v+1]].
+	coff []int64 // len n+1; byte offsets into blob
+	blob []byte  // delta-varint encoded adjacency
 }
 
 // NumVertices returns the number of vertices.
@@ -42,7 +53,12 @@ func (g *Graph) NumVertices() int64 { return g.n }
 
 // NumEdges returns the number of stored directed adjacency entries. For an
 // undirected graph this is twice the number of undirected edges.
-func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) }
+func (g *Graph) NumEdges() int64 {
+	if g.coff != nil {
+		return g.offsets[g.n]
+	}
+	return int64(len(g.adj))
+}
 
 // UndirectedEdges returns the number of undirected edges (NumEdges/2) for
 // undirected graphs, and NumEdges for directed graphs.
@@ -68,9 +84,14 @@ func (g *Graph) Degree(v int64) int64 {
 	return g.offsets[v+1] - g.offsets[v]
 }
 
-// Neighbors returns the adjacency list of v as a shared, read-only slice.
-// Callers must not modify it.
+// Neighbors returns the adjacency list of v. On flat graphs it is the
+// shared, read-only CSR slice; callers must not modify it. On compressed
+// graphs it decodes into a fresh slice — hot loops should prefer
+// DecodeNeighbors (caller-owned buffer) or NeighborDecoder (streaming).
 func (g *Graph) Neighbors(v int64) []int64 {
+	if g.coff != nil {
+		return g.DecodeNeighbors(v, nil)
+	}
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
@@ -103,10 +124,18 @@ func (g *Graph) HasEdge(u, v int64) bool {
 // Offsets is also the graph's degree prefix sum — Offsets()[v] is the total
 // out-degree of vertices [0, v) — which is what the BSP engine's
 // degree-weighted sweep chunking splits into near-equal edge-work chunks.
+// Identical in both representations.
 func (g *Graph) Offsets() []int64 { return g.offsets }
 
-// Adjacency exposes the flat adjacency array. Read-only.
+// Adjacency exposes the flat adjacency array; nil on compressed graphs
+// (use NumEdges for the entry count, Neighbors/NeighborDecoder to read).
+// Read-only.
 func (g *Graph) Adjacency() []int64 { return g.adj }
+
+// Weights exposes the flat weight array parallel to the (decoded)
+// adjacency, or nil on unweighted graphs; identical in both
+// representations. Read-only.
+func (g *Graph) Weights() []int64 { return g.weights }
 
 // MaxDegree returns the maximum out-degree, or 0 for an empty graph. The
 // value is memoized at build time (Build, FromCSR, Transpose), so calls
@@ -142,13 +171,19 @@ func (g *Graph) Validate() error {
 	if g.offsets[0] != 0 {
 		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
 	}
-	if g.offsets[g.n] != int64(len(g.adj)) {
-		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[g.n], len(g.adj))
-	}
 	for v := int64(0); v < g.n; v++ {
 		if g.offsets[v] > g.offsets[v+1] {
 			return fmt.Errorf("graph: offsets decrease at %d", v)
 		}
+	}
+	if g.coff != nil {
+		// Compressed representation: O(n) structural checks only — the
+		// varint stream is validated by the encoder (Compress) or an
+		// explicit VerifyCompressed sweep, never on the load path.
+		return g.validateCompressed()
+	}
+	if g.offsets[g.n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[g.n], len(g.adj))
 	}
 	for i, w := range g.adj {
 		if w < 0 || w >= g.n {

@@ -29,8 +29,13 @@ const (
 	flagWeighted
 )
 
-// WriteBinary writes g as a binary CSR snapshot.
+// WriteBinary writes g as a binary CSR snapshot. The snapshot is the flat
+// representation: a compressed graph is written through its flat twin
+// (use WriteCSR2 to persist the compressed form).
 func WriteBinary(w io.Writer, g *graph.Graph) error {
+	if g.Compressed() {
+		g = graph.Decompress(g)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -55,11 +60,10 @@ func WriteBinary(w io.Writer, g *graph.Graph) error {
 		return err
 	}
 	if g.Weighted() {
-		// Weights are stored per adjacency entry, reconstructed per vertex.
-		for v := int64(0); v < g.NumVertices(); v++ {
-			if err := writeInt64s(bw, g.NeighborWeights(v)); err != nil {
-				return err
-			}
+		// The flat weight array is exactly the per-vertex weight slices
+		// concatenated in vertex order — one pass, no per-vertex calls.
+		if err := writeInt64s(bw, g.Weights()); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()

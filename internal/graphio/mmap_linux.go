@@ -1,0 +1,44 @@
+//go:build linux && (amd64 || arm64 || riscv64)
+
+package graphio
+
+// The zero-copy CSR2 load path: the snapshot is mapped read-only and the
+// graph's arrays alias the mapping, so "loading" a scale-30 graph is a
+// handful of page-table entries — the adjacency bytes fault in lazily and
+// stay shared across processes through the page cache. Gated to
+// little-endian linux targets because the int64 sections are
+// reinterpreted in native byte order.
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+type munmapCloser struct{ data []byte }
+
+func (m *munmapCloser) Close() error { return syscall.Munmap(m.data) }
+
+// mmapFile maps path read-only. Any mapping failure (including an empty
+// file) reports errNoMmap so callers fall back to the streaming reader,
+// which produces the real diagnostic.
+func mmapFile(path string) ([]byte, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, errNoMmap
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, errNoMmap
+	}
+	return data, &munmapCloser{data}, nil
+}

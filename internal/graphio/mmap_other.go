@@ -1,0 +1,9 @@
+//go:build !linux || !(amd64 || arm64 || riscv64)
+
+package graphio
+
+import "io"
+
+// mmapFile on platforms without the zero-copy path: always fall back to
+// the streaming CSR2 reader.
+func mmapFile(string) ([]byte, io.Closer, error) { return nil, nil, errNoMmap }

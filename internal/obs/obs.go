@@ -125,6 +125,10 @@ type MemSample struct {
 	NumGC uint32
 	// PauseTotal is the cumulative stop-the-world pause time.
 	PauseTotal time.Duration
+	// VmHWM is the process peak resident set size in bytes, read from
+	// /proc/self/status. Zero where the kernel does not expose it — the
+	// report omits the figure rather than print a lie.
+	VmHWM uint64
 }
 
 // Sink receives one run's observability events: RunStart, then any mix of

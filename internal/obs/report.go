@@ -279,9 +279,15 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 	if r.memSamples > 0 {
 		gcs := r.memLast.NumGC - r.memFirst.NumGC
 		pause := r.memLast.PauseTotal - r.memFirst.PauseTotal
-		fmt.Fprintf(w, "mem: heap %s -> %s (peak %s), %d GCs, %s pause\n",
+		fmt.Fprintf(w, "mem: heap %s -> %s (peak %s), %d GCs, %s pause",
 			fmtBytes(r.memFirst.HeapAlloc), fmtBytes(r.memLast.HeapAlloc),
 			fmtBytes(r.memPeak), gcs, fmtDur(pause))
+		// Peak RSS covers what heap figures miss — mmap'd graph sections
+		// under the zero-copy CSR2 load path. Zero when procfs is absent.
+		if r.memLast.VmHWM > 0 {
+			fmt.Fprintf(w, ", rss peak %s", fmtBytes(r.memLast.VmHWM))
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }
