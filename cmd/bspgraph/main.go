@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	bspgraph -g graph.gxmt -alg cc|bfs|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
-//	         [-src -1] [-procs 128] [-rounds 30] [-workers N]
+//	bspgraph -g graph.gxmt -alg cc|bfs|reach|sssp|tc|tc-streaming|pagerank|kcore|lp|bc|mis|diameter
+//	         [-src -1] [-sources 5,17,99] [-batch] [-procs 128] [-rounds 30] [-workers N]
 //	         [-chunking degree|fixed] [-direction auto|push|pull]
 //	         [-graph-rep flat|compressed]
 //	         [-checkpoint-dir dir] [-ckpt-every 1] [-ckpt-keep 0] [-resume ckpt|auto]
 //	         [-retries N] [-step-timeout 0] [-run-timeout 0]
 //	         [-obs-format report|jsonl|chrome] [-obs-out trace.json] [-pprof addr|file]
 //	         [-http host:port] [-http-linger 0s]
+//
+// -sources runs multi-source BFS over a comma-separated vertex list:
+// with -batch (and always for -alg reach) the queries share one MS-BFS
+// engine pass — up to 64 unique sources, one bit lane each, checkpointable
+// like any single run — while without it each source runs as its own
+// sequential pass (no checkpointing for more than one source). Duplicate
+// sources collapse onto one lane; out-of-range or malformed lists are
+// usage errors. -alg reach answers batched reachability only (no levels).
 //
 // SSSP requires a weighted graph (graphgen does not emit one; build via
 // the library or a weighted DIMACS file). The -obs-* flags export host
@@ -59,12 +67,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"graphxmt/internal/batch"
 	"graphxmt/internal/bspalg"
 	"graphxmt/internal/ckpt"
 	"graphxmt/internal/core"
@@ -79,8 +89,10 @@ import (
 
 func main() {
 	path := flag.String("g", "", "graph file (required)")
-	alg := flag.String("alg", "cc", "algorithm: cc, bfs, sssp, tc, tc-streaming, pagerank, kcore, lp, bc, mis, diameter")
+	alg := flag.String("alg", "cc", "algorithm: cc, bfs, reach, sssp, tc, tc-streaming, pagerank, kcore, lp, bc, mis, diameter")
 	src := flag.Int64("src", -1, "bfs/sssp source (-1 = max-degree vertex)")
+	sources := flag.String("sources", "", "comma-separated bfs/reach sources (batched with -batch, else sequential runs)")
+	batchMode := flag.Bool("batch", false, "answer -sources in one MS-BFS engine pass (<= 64 unique sources)")
 	procs := flag.Int("procs", 128, "simulated processors")
 	rounds := flag.Int("rounds", 30, "pagerank/lp supersteps")
 	profile := flag.String("profile", "", "write the recorded work profile as JSON to this path")
@@ -156,6 +168,32 @@ func main() {
 		}
 	}
 	name := strings.TrimSpace(*alg)
+	srcSet, sourcesSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "src":
+			srcSet = true
+		case "sources":
+			sourcesSet = true
+		}
+	})
+	// An explicitly empty list is rejected rather than silently falling
+	// back to the single-source default the user opted out of.
+	if sourcesSet && strings.TrimSpace(*sources) == "" {
+		usage("-sources must list at least one vertex")
+	}
+	if *batchMode && *sources == "" {
+		usage("-batch needs -sources")
+	}
+	if srcSet && *sources != "" {
+		usage("-src and -sources are mutually exclusive")
+	}
+	if *sources != "" && name != "bfs" && name != "reach" {
+		usage("-sources applies to bfs and reach, not %s", name)
+	}
+	if name == "reach" && *sources == "" {
+		usage("reach needs -sources (batched reachability queries)")
+	}
 	resumeLatest := false
 	switch strings.TrimSpace(*resume) {
 	case "auto", "latest":
@@ -246,15 +284,40 @@ func main() {
 		usage("-src %d out of range [0,%d)", source, g.NumVertices())
 	}
 
+	// Source-list validation is shared with xmtbench (internal/batch), so
+	// both CLIs reject malformed or out-of-range lists identically.
+	var bplan *batch.Plan
+	if *sources != "" {
+		srcs, err := batch.ParseSources(*sources, g.NumVertices())
+		if err != nil {
+			usage("%v", err)
+		}
+		if bplan, err = batch.NewPlan(srcs, g.NumVertices()); err != nil {
+			usage("%v", err)
+		}
+		if name == "reach" {
+			*batchMode = true // reachability queries only exist batched
+		}
+		if !*batchMode && bplan.Occupancy() > 1 && (checkpointed || *faultPlan != "") {
+			usage("sequential multi-source bfs runs one engine pass per source and does not support -checkpoint-dir/-resume/-fault-plan; add -batch")
+		}
+	}
+
 	// Checkpoint label: algorithm plus the parameters that shape the run,
-	// so a checkpoint cannot be resumed under different ones.
+	// so a checkpoint cannot be resumed under different ones. Batched runs
+	// pin the full lane assignment (also carried by the format-v7
+	// fingerprint) so a resume under a permuted source list is refused.
 	label := name
-	switch name {
-	case "bfs", "sssp":
+	switch {
+	case bplan != nil && *batchMode && name == "reach":
+		label = "multireach lanes=" + bplan.String()
+	case bplan != nil && *batchMode:
+		label = "multibfs lanes=" + bplan.String()
+	case name == "bfs" || name == "sssp":
 		label = fmt.Sprintf("%s src=%d", name, source)
-	case "pagerank", "lp":
+	case name == "pagerank" || name == "lp":
 		label = fmt.Sprintf("%s rounds=%d", name, *rounds)
-	case "mis":
+	case name == "mis":
 		label = fmt.Sprintf("%s seed=%d", name, 7)
 	}
 
@@ -316,15 +379,47 @@ func main() {
 		fmt.Printf("         active/step:   %v\n", res.ActivePerStep)
 		fmt.Printf("         messages/step: %v\n", res.MessagesPerStep)
 	case "bfs":
-		res, err := bspalg.BFS(g, source, rec, opts...)
-		exitOn(err)
-		var reached int64
-		for _, f := range res.FrontierPerStep {
-			reached += f
+		switch {
+		case bplan != nil && *batchMode:
+			res, err := bspalg.MultiBFS(g, bplan, rec, opts...)
+			exitOn(err)
+			var sent int64
+			for _, m := range res.MessagesPerStep {
+				sent += m
+			}
+			fmt.Printf("[bsp multibfs] lanes=%d supersteps=%d reached(sum over lanes)=%d\n",
+				bplan.Occupancy(), res.Supersteps, lanesReached(res.Masks))
+			fmt.Printf("               messages/step: %v\n", res.MessagesPerStep)
+			fmt.Printf("               amortized edge traversals/query: %.0f\n",
+				float64(sent)/float64(bplan.Occupancy()))
+		case bplan != nil:
+			// One engine pass per unique source — the unbatched control the
+			// MS-BFS layer is measured against.
+			for _, s := range bplan.Sources {
+				res, err := bspalg.BFS(g, s, rec, opts...)
+				exitOn(err)
+				var reached int64
+				for _, f := range res.FrontierPerStep {
+					reached += f
+				}
+				fmt.Printf("[bsp bfs] source=%d supersteps=%d reached=%d\n", s, res.Supersteps, reached)
+			}
+		default:
+			res, err := bspalg.BFS(g, source, rec, opts...)
+			exitOn(err)
+			var reached int64
+			for _, f := range res.FrontierPerStep {
+				reached += f
+			}
+			fmt.Printf("[bsp bfs] source=%d supersteps=%d reached=%d\n", source, res.Supersteps, reached)
+			fmt.Printf("          frontier/level: %v\n", res.FrontierPerStep)
+			fmt.Printf("          messages/step:  %v\n", res.MessagesPerStep)
 		}
-		fmt.Printf("[bsp bfs] source=%d supersteps=%d reached=%d\n", source, res.Supersteps, reached)
-		fmt.Printf("          frontier/level: %v\n", res.FrontierPerStep)
-		fmt.Printf("          messages/step:  %v\n", res.MessagesPerStep)
+	case "reach":
+		res, err := bspalg.MultiReach(g, bplan, rec, opts...)
+		exitOn(err)
+		fmt.Printf("[bsp multireach] lanes=%d supersteps=%d reached(sum over lanes)=%d\n",
+			bplan.Occupancy(), res.Supersteps, lanesReached(res.Masks))
 	case "sssp":
 		if !g.Weighted() {
 			usage("sssp requires a weighted graph")
@@ -473,6 +568,16 @@ func exitOn(err error) {
 		os.Exit(1)
 	}
 	fatal(err)
+}
+
+// lanesReached sums per-lane reached-set sizes: the popcount of every
+// vertex's lane mask.
+func lanesReached(masks []int64) int64 {
+	var n int64
+	for _, m := range masks {
+		n += int64(bits.OnesCount64(uint64(m)))
+	}
+	return n
 }
 
 func maxDegreeVertex(g *graph.Graph) int64 {

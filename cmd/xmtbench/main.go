@@ -7,8 +7,9 @@
 //
 // Usage:
 //
-//	xmtbench [-exp all|table1|fig1|fig2|fig3|fig4|aux|ablation]
+//	xmtbench [-exp all|table1|fig1|fig2|fig3|fig4|aux|msbfs|ablation]
 //	         [-scale 16] [-ef 16] [-seed 1] [-procs 128] [-model analytic|des]
+//	         [-sources 5,17,99]
 //	         [-direction auto|push|pull] [-graph-rep flat|compressed]
 //	         [-retries N] [-step-timeout 0] [-run-timeout 0]
 //	         [-workers N] [-obs-format report|jsonl|chrome] [-obs-out out] [-pprof addr|file]
@@ -32,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"graphxmt/internal/batch"
 	"graphxmt/internal/core"
 	"graphxmt/internal/experiments"
 	"graphxmt/internal/graph"
@@ -42,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig1, fig2, fig3, fig4, aux, extensions, graph500, regimes, ablation")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig1, fig2, fig3, fig4, aux, extensions, graph500, regimes, msbfs, ablation")
 	scale := flag.Int("scale", 16, "RMAT scale (log2 vertices); the paper uses 24")
 	ef := flag.Int("ef", 16, "RMAT edge factor; the paper uses 16")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -53,6 +55,7 @@ func main() {
 	retries := flag.Int("retries", 0, "re-execute a faulting superstep up to N times in every BSP pass (0 = off)")
 	stepTimeout := flag.Duration("step-timeout", 0, "per-superstep watchdog deadline for every BSP pass (0 = off)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-pass engine run deadline (0 = off)")
+	sources := flag.String("sources", "", "comma-separated source vertices for the msbfs experiment (default: 64 stride-spread sources)")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	liveFlags := live.AddFlags(flag.CommandLine)
@@ -92,6 +95,10 @@ func main() {
 		case "run-timeout":
 			if *runTimeout <= 0 {
 				usage("-run-timeout must be > 0, got %v", *runTimeout)
+			}
+		case "sources":
+			if strings.TrimSpace(*sources) == "" {
+				usage("-sources must list at least one vertex")
 			}
 		}
 	})
@@ -232,6 +239,23 @@ func main() {
 			fmt.Printf("GRAPH500-style (%s): %d/%d searches validated; TEPS min %.3g / median %.3g / harmonic %.3g / max %.3g\n",
 				name, res.Validated, len(res.Keys), res.MinTEPS, res.MedianTEPS, res.HarmonicMeanTEPS, res.MaxTEPS)
 		}
+		fmt.Println()
+	}
+	if want("msbfs") {
+		ran = true
+		// Source-list validation is shared with bspgraph (internal/batch),
+		// so both CLIs reject malformed or out-of-range lists identically.
+		var srcs []int64
+		if *sources != "" {
+			if srcs, err = batch.ParseSources(*sources, g.NumVertices()); err != nil {
+				usage("%v", err)
+			}
+		}
+		res, err := experiments.MSBFS(g, setup, srcs)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderMSBFS(os.Stdout, res, *procs)
 		fmt.Println()
 	}
 	if want("regimes") {

@@ -113,6 +113,13 @@ type Fingerprint struct {
 	// representation it checkpointed with. v1-v5 checkpoints decode as
 	// "flat", the only representation that existed then.
 	Rep string
+	// Lanes is the batched run's lane assignment — the comma-separated
+	// source list in lane order (core.LaneProgram) — or "" for unbatched
+	// runs. Per-vertex lane masks and the aux level words are meaningful
+	// only under the assignment they were written with, so a batch may
+	// only resume under the exact source order it started with. v1-v6
+	// checkpoints decode as "" (batching did not exist).
+	Lanes string
 }
 
 // Check compares fp (from a checkpoint) against want (the resuming run)
@@ -136,6 +143,7 @@ func (fp Fingerprint) Check(want Fingerprint) error {
 		{"max messages", fmt.Sprint(fp.MaxMessages), fmt.Sprint(want.MaxMessages)},
 		{"max retries", fmt.Sprint(fp.Retries), fmt.Sprint(want.Retries)},
 		{"representation", fp.Rep, want.Rep},
+		{"lane assignment", fp.Lanes, want.Lanes},
 		{"cost schedule", fmt.Sprintf("%08x", fp.CostsCRC), fmt.Sprintf("%08x", want.CostsCRC)},
 	}
 	for _, c := range cs {
@@ -196,6 +204,12 @@ type Snapshot struct {
 	// entry per completed superstep (length Step+1) when the run's retry
 	// supervisor was active, empty otherwise (and for v1-v4 checkpoints).
 	RetriesPerStep []int64
+	// Aux is the program's auxiliary state (format v7) — the deep copy of
+	// core.AuxProgram's backing slice at this boundary (e.g. MultiBFS's
+	// packed per-vertex per-lane levels). Its length and encoding are
+	// program-defined; FP.Lanes plus FP.Program pin the interpretation.
+	// Empty for programs without aux state and for v1-v6 checkpoints.
+	Aux []int64
 	// Aggregates and PrevAggregates (the Pregel previous-superstep view),
 	// sorted by name.
 	Aggregates     []Aggregate

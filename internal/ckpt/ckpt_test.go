@@ -39,6 +39,7 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 			Direction:     []string{"auto", "push", "pull"}[rng.Intn(3)],
 			Retries:       int64(rng.Intn(4)),
 			Rep:           []string{"flat", "compressed"}[rng.Intn(2)],
+			Lanes:         []string{"", "3,17,42", "0"}[rng.Intn(3)],
 		},
 		Step:   step,
 		States: make([]int64, n),
@@ -54,11 +55,13 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 		}
 	}
 	m := rng.Intn(300)
-	s.MsgDest = make([]int64, m)
-	s.MsgVal = make([]int64, m)
-	for i := 0; i < m; i++ {
-		s.MsgDest[i] = int64(rng.Intn(int(n)))
-		s.MsgVal[i] = rng.Int63() - rng.Int63()
+	if m > 0 { // the decoder yields nil (not empty) slices for zero lengths
+		s.MsgDest = make([]int64, m)
+		s.MsgVal = make([]int64, m)
+		for i := 0; i < m; i++ {
+			s.MsgDest[i] = int64(rng.Intn(int(n)))
+			s.MsgVal[i] = rng.Int63() - rng.Int63()
+		}
 	}
 	if k := rng.Intn(4); k > 0 {
 		// In-flight broadcast records: seqs must be non-decreasing and at
@@ -96,6 +99,14 @@ func randSnapshot(rng *rand.Rand) *ckpt.Snapshot {
 		// superstep.
 		for i := int64(0); i <= step; i++ {
 			s.RetriesPerStep = append(s.RetriesPerStep, int64(rng.Intn(3)))
+		}
+	}
+	if rng.Intn(2) == 0 {
+		// Program-owned aux state (v7): program-defined length, opaque to
+		// the decoder.
+		s.Aux = make([]int64, 1+rng.Intn(64))
+		for i := range s.Aux {
+			s.Aux[i] = rng.Int63() - rng.Int63()
 		}
 	}
 	for i, k := 0, rng.Intn(3); i < k; i++ {
@@ -315,6 +326,7 @@ func TestFingerprintCheck(t *testing.T) {
 		{"direction", func(f *ckpt.Fingerprint) { f.Direction = "pull" }},
 		{"max supersteps", func(f *ckpt.Fingerprint) { f.MaxSupersteps = 5 }},
 		{"max messages", func(f *ckpt.Fingerprint) { f.MaxMessages = 5 }},
+		{"lane assignment", func(f *ckpt.Fingerprint) { f.Lanes = "3,17" }},
 		{"cost schedule", func(f *ckpt.Fingerprint) { f.CostsCRC++ }},
 	}
 	for _, tc := range cases {
@@ -422,7 +434,9 @@ func TestLatestPathAndPrune(t *testing.T) {
 }
 
 // spliceVersion reconstructs the exact byte layout of an older-format file
-// from a current-version encode of s: versions below 6 drop the
+// from a current-version encode of s: versions below 7 drop the
+// Fingerprint Lanes string (after Rep) and the Aux array (after
+// RetriesPerStep); versions below 6 drop the
 // Fingerprint Rep string (after Retries); versions below 5 also drop
 // FP.Retries and the RetriesPerStep array; versions below 4 drop the
 // Fingerprint Direction string after Schedule and the Directions/Visited
@@ -450,8 +464,11 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 	const retryFPLen = 8
 	repStrOff := retryFPOff + retryFPLen
 	repStrLen := 4 + len(s.FP.Rep)
+	// The FP.Lanes string (v7) sits after the Rep string.
+	lanesStrOff := repStrOff + repStrLen
+	lanesStrLen := 4 + len(s.FP.Lanes)
 	// Broadcast arrays sit after MsgVal: three length-prefixed int64 slices.
-	bcastOff := repStrOff + repStrLen +
+	bcastOff := lanesStrOff + lanesStrLen +
 		8 + 8 + 4 + // MaxSupersteps, MaxMessages, CostsCRC
 		8 + 8 + // Step, Live
 		8 + 8*len(s.States) +
@@ -465,10 +482,16 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 		8 + 8*len(s.DeliveredPerStep)
 	dirArrLen := 8 + 8*len(s.Directions) +
 		8 + len(s.Visited)
-	// RetriesPerStep (v5) sits after the Visited bitmap.
+	// RetriesPerStep (v5) sits after the Visited bitmap, and the Aux
+	// array (v7) after that.
 	retryArrOff := dirArrOff + dirArrLen
 	retryArrLen := 8 + 8*len(s.RetriesPerStep)
+	auxOff := retryArrOff + retryArrLen
+	auxLen := 8 + 8*len(s.Aux)
 
+	if ver < 7 {
+		out = append(out[:auxOff], out[auxOff+auxLen:]...)
+	}
 	if ver < 5 {
 		out = append(out[:retryArrOff], out[retryArrOff+retryArrLen:]...)
 	}
@@ -477,6 +500,9 @@ func spliceVersion(t *testing.T, s *ckpt.Snapshot, data []byte, ver uint32) []by
 	}
 	if ver < 3 {
 		out = append(out[:bcastOff], out[bcastOff+bcastLen:]...)
+	}
+	if ver < 7 {
+		out = append(out[:lanesStrOff], out[lanesStrOff+lanesStrLen:]...)
 	}
 	if ver < 6 {
 		out = append(out[:repStrOff], out[repStrOff+repStrLen:]...)
@@ -530,9 +556,11 @@ func TestLoadVersion1DefaultsSchedule(t *testing.T) {
 	want.FP.Direction = "auto"
 	want.FP.Retries = 0
 	want.FP.Rep = "flat"
+	want.FP.Lanes = ""
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
 	want.Directions, want.Visited = nil, nil
 	want.RetriesPerStep = nil
+	want.Aux = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v1 round trip mismatch beyond Schedule:\nwant %+v\ngot  %+v", &want, got)
 	}
@@ -568,9 +596,11 @@ func TestLoadVersion2NoBroadcasts(t *testing.T) {
 	want.FP.Direction = "auto"
 	want.FP.Retries = 0
 	want.FP.Rep = "flat"
+	want.FP.Lanes = ""
 	want.BcastSrc, want.BcastVal, want.BcastSeq = nil, nil, nil
 	want.Directions, want.Visited = nil, nil
 	want.RetriesPerStep = nil
+	want.Aux = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v2 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
@@ -607,8 +637,10 @@ func TestLoadVersion3NoDirection(t *testing.T) {
 	want.FP.Direction = "auto"
 	want.FP.Retries = 0
 	want.FP.Rep = "flat"
+	want.FP.Lanes = ""
 	want.Directions, want.Visited = nil, nil
 	want.RetriesPerStep = nil
+	want.Aux = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v3 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
@@ -642,7 +674,9 @@ func TestLoadVersion4NoRetries(t *testing.T) {
 	want := *s
 	want.FP.Retries = 0
 	want.FP.Rep = "flat"
+	want.FP.Lanes = ""
 	want.RetriesPerStep = nil
+	want.Aux = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v4 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
@@ -674,7 +708,42 @@ func TestLoadVersion5NoRep(t *testing.T) {
 	}
 	want := *s
 	want.FP.Rep = "flat"
+	want.FP.Lanes = ""
+	want.Aux = nil
 	if !reflect.DeepEqual(&want, got) {
 		t.Fatalf("v5 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
+	}
+}
+
+// TestLoadVersion6NoLanes: a version-6 checkpoint (written before batched
+// multi-source runs existed) must load with an empty lane assignment and a
+// nil Aux array — pre-batch runs carried neither — with everything newer
+// than v5 (the Rep string) intact.
+func TestLoadVersion6NoLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := randSnapshot(rng)
+	dir := t.TempDir()
+	path, err := ckpt.WriteFile(dir, s, ckpt.FileName(s.Step), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6 := spliceVersion(t, s, data, 6)
+	v6path := filepath.Join(dir, "v6"+ckpt.Ext)
+	if err := os.WriteFile(v6path, v6, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.Load(v6path)
+	if err != nil {
+		t.Fatalf("loading version-6 checkpoint: %v", err)
+	}
+	want := *s
+	want.FP.Lanes = ""
+	want.Aux = nil
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("v6 round trip mismatch:\nwant %+v\ngot  %+v", &want, got)
 	}
 }

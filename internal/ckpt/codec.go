@@ -49,9 +49,16 @@ import (
 //	    directly, so the same logical graph has a different CRC per
 //	    representation; older checkpoints decode as "flat", the only
 //	    representation that existed then.
+//	7 — batched multi-source runs: Fingerprint gains Lanes (the batch's
+//	    lane assignment as a comma-separated source list, encoded after
+//	    Rep; "" for unbatched runs and older checkpoints) and Snapshot
+//	    gains Aux, the program-owned auxiliary state (core.AuxProgram —
+//	    e.g. MultiBFS's packed per-lane levels; encoded after
+//	    RetriesPerStep, empty for programs without aux state and for
+//	    older checkpoints).
 const (
 	magic      = "GXMTCKP1"
-	version    = 6
+	version    = 7
 	minVersion = 1
 
 	// Ext is the checkpoint file extension.
@@ -266,6 +273,7 @@ func Encode(s *Snapshot) []byte {
 	e.str(s.FP.Direction)
 	e.i64(s.FP.Retries)
 	e.str(s.FP.Rep)
+	e.str(s.FP.Lanes)
 	e.i64(s.FP.MaxSupersteps)
 	e.i64(s.FP.MaxMessages)
 	e.u32(s.FP.CostsCRC)
@@ -285,6 +293,7 @@ func Encode(s *Snapshot) []byte {
 	e.int64s(s.Directions)
 	e.bools(s.Visited)
 	e.int64s(s.RetriesPerStep)
+	e.int64s(s.Aux)
 
 	encAggs := func(aggs []Aggregate) {
 		e.i64(int64(len(aggs)))
@@ -357,6 +366,10 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 		// flat.
 		s.FP.Rep = "flat"
 	}
+	if ver >= 7 {
+		// Pre-v7 checkpoints predate batching; Lanes stays "".
+		s.FP.Lanes = d.str()
+	}
 	s.FP.MaxSupersteps = d.i64()
 	s.FP.MaxMessages = d.i64()
 	s.FP.CostsCRC = d.u32()
@@ -381,6 +394,12 @@ func decodeVersion(payload []byte, path string, ver uint32) (*Snapshot, error) {
 	}
 	if ver >= 5 {
 		s.RetriesPerStep = d.int64s()
+	}
+	if ver >= 7 {
+		// Program-defined length — no structural cross-check is possible
+		// beyond the slice-length sanity d.length already applies; a
+		// mismatched length is caught by the engine at restore time.
+		s.Aux = d.int64s()
 	}
 
 	decAggs := func() []Aggregate {

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"graphxmt/internal/batch"
 	"graphxmt/internal/bspalg"
 	"graphxmt/internal/core"
 	"graphxmt/internal/gen"
@@ -338,4 +339,65 @@ func BenchmarkEngineSparseRelayMetrics(b *testing.B) {
 		MaxSupersteps:    2000,
 		Obs:              obs.NewMetrics(nil),
 	})
+}
+
+// MS-BFS A/B pair: one 64-lane batched run against 64 sequential
+// single-source runs over the same stride-spread sources — the amortization
+// headline (Batch64 vs Sequential64 is the per-batch speedup; divide by 64
+// for per-query cost). Per-lane results are asserted bit-identical in
+// bspalg's equivalence matrix, so the ratio is pure traffic amortization on
+// identical answers. The Compressed twins measure the same batch over
+// delta-varint adjacency (the CSR2 serving representation).
+func msbfsBenchPlan(b *testing.B, g *graph.Graph) *batch.Plan {
+	b.Helper()
+	n := g.NumVertices()
+	srcs := make([]int64, 0, batch.MaxLanes)
+	for i := int64(0); i < batch.MaxLanes; i++ {
+		srcs = append(srcs, i*n/batch.MaxLanes)
+	}
+	plan, err := batch.NewPlan(srcs, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+func benchMSBFSBatch(b *testing.B, g *graph.Graph) {
+	plan := msbfsBenchPlan(b, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bspalg.MultiBFS(g, plan, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMSBFSSequential(b *testing.B, g *graph.Graph) {
+	plan := msbfsBenchPlan(b, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range plan.Sources {
+			if _, err := bspalg.BFS(g, s, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineMSBFSBatch64(b *testing.B) {
+	benchMSBFSBatch(b, engineGraph(b))
+}
+
+func BenchmarkEngineMSBFSSequential64(b *testing.B) {
+	benchMSBFSSequential(b, engineGraph(b))
+}
+
+func BenchmarkEngineMSBFSBatch64Compressed(b *testing.B) {
+	benchMSBFSBatch(b, engineGraphCompressed(b))
+}
+
+func BenchmarkEngineMSBFSSequential64Compressed(b *testing.B) {
+	benchMSBFSSequential(b, engineGraphCompressed(b))
 }

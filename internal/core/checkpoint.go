@@ -151,6 +151,7 @@ func runFingerprint(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, co
 		Direction:     cfg.Direction.String(),
 		Retries:       int64(max(cfg.MaxRetries, 0)),
 		Rep:           string(g.Rep()),
+		Lanes:         laneString(laneSourcesOf(cfg.Program)),
 	}
 }
 
@@ -174,6 +175,10 @@ type ckptRun struct {
 	// emergency checkpoint written when a vertex program panics
 	// mid-superstep and the retry supervisor's rollback.
 	snap *ckpt.Snapshot
+	// aux is the program's live auxiliary state slice (core.AuxProgram),
+	// deep-copied into every boundary snapshot — checkpoint format v7.
+	// nil for programs without aux state.
+	aux []int64
 }
 
 // startCkpt resolves the run's checkpoint state; nil disables everything.
@@ -181,7 +186,7 @@ func startCkpt(cfg *Config, g *graph.Graph, maxSteps int, maxMsgs int64, costs C
 	if cfg.Checkpoint == nil && cfg.Stop == nil && cfg.Resume == "" && !cfg.ResumeLatest && sup == nil {
 		return nil
 	}
-	ck := &ckptRun{policy: cfg.Checkpoint, stop: cfg.Stop, sup: sup}
+	ck := &ckptRun{policy: cfg.Checkpoint, stop: cfg.Stop, sup: sup, aux: auxOf(cfg.Program)}
 	if ck.policy != nil || cfg.Resume != "" || cfg.ResumeLatest {
 		ck.fp = runFingerprint(cfg, g, maxSteps, maxMsgs, costs)
 	}
@@ -269,6 +274,14 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 	if ck.sup != nil && ck.sup.maxRetries > 0 {
 		rets = append([]int64(nil), ck.sup.retries...)
 	}
+	// Program-owned auxiliary state — checkpoint format v7: MultiBFS's
+	// packed per-lane levels and the like. The compute sweep confines aux
+	// writes to the computing vertex's own words, so at a boundary the
+	// slice is quiescent and a plain copy captures it exactly.
+	var aux []int64
+	if len(ck.aux) > 0 {
+		aux = append([]int64(nil), ck.aux...)
+	}
 	ck.snap = &ckpt.Snapshot{
 		FP:               ck.fp,
 		Step:             int64(step),
@@ -286,6 +299,7 @@ func (ck *ckptRun) record(step int, live int64, res *Result, halted []bool, send
 		MessagesPerStep:  append([]int64(nil), res.MessagesPerStep...),
 		DeliveredPerStep: append([]int64(nil), res.DeliveredPerStep...),
 		RetriesPerStep:   rets,
+		Aux:              aux,
 		Aggregates:       aggSnapshot(master.aggregates),
 		PrevAggregates:   prevAggSnapshot(master.prevAggregates),
 		Phases:           rec.StateSnapshot(),

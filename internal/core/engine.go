@@ -249,6 +249,13 @@ func Run(cfg Config) (*Result, error) {
 		States:     make([]int64, n),
 		Aggregates: map[string]int64{},
 	}
+	// laneSrc/progAux are the program's batching capability surfaces
+	// (lanes.go): the lane assignment of a batched multi-source program
+	// (obs reporting; the fingerprint pin happens in runFingerprint) and
+	// its auxiliary state slice (snapshot/restore/rollback below). Both
+	// nil for ordinary programs.
+	laneSrc := laneSourcesOf(cfg.Program)
+	progAux := auxOf(cfg.Program)
 	// sup is the run-supervision state (retry, watchdog, run deadline);
 	// nil (no MaxRetries, no timeouts) costs one pointer check per
 	// superstep (supervise.go).
@@ -397,6 +404,17 @@ func Run(cfg Config) (*Result, error) {
 		// code the original boundary used, so every downstream quantity is
 		// bit-identical to the uninterrupted run's.
 		live = restore(resumeSnap, res, halted, master, ds, cfg.Recorder)
+		if len(progAux) > 0 {
+			// Program-owned aux state (format v7). A pre-v7 checkpoint of an
+			// aux-bearing program — or one taken under a different batch
+			// shape — cannot resume: the levels recorded before the boundary
+			// are gone, and silently restarting them would corrupt every
+			// per-source distance.
+			if len(resumeSnap.Aux) != len(progAux) {
+				return nil, fmt.Errorf("core: checkpoint carries %d aux words, program expects %d (checkpoint predates format v7 or was taken under a different configuration)", len(resumeSnap.Aux), len(progAux))
+			}
+			copy(progAux, resumeSnap.Aux)
+		}
 		startStep = int(resumeSnap.Step) + 1
 		sendBuf = make([]Message, len(resumeSnap.MsgDest))
 		for i := range sendBuf {
@@ -597,7 +615,7 @@ func Run(cfg Config) (*Result, error) {
 				return nil, pe
 			}
 			retried++
-			sup.rollbackTo(ck.snap, halted, master, ds, scratch, cfg.Recorder)
+			sup.rollbackTo(ck.snap, halted, progAux, master, ds, scratch, cfg.Recorder)
 		}
 		if sup != nil && sup.maxRetries > 0 {
 			sup.retries = append(sup.retries, retried)
@@ -675,6 +693,9 @@ func Run(cfg Config) (*Result, error) {
 					st.Retries = retried
 					st.Stalled = sup.stalledAt(step)
 				}
+				if len(laneSrc) > 0 {
+					st.Lanes = laneCount(sendBuf, bcasts)
+				}
 				o.step(st)
 			}
 			break
@@ -724,6 +745,9 @@ func Run(cfg Config) (*Result, error) {
 			if sup != nil {
 				st.Retries = retried
 				st.Stalled = sup.stalledAt(step)
+			}
+			if len(laneSrc) > 0 {
+				st.Lanes = laneCount(sendBuf, bcasts)
 			}
 			o.step(st)
 		}

@@ -91,6 +91,7 @@ func startObs(cfg *Config, g *graph.Graph) *obsRun {
 		Workers:  w,
 		Vertices: g.NumVertices(),
 		Edges:    g.NumEdges(),
+		Lanes:    len(laneSourcesOf(cfg.Program)),
 	})
 	return o
 }

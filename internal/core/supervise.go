@@ -222,16 +222,21 @@ func (sp *supRun) runExpired() bool {
 
 // rollbackTo restores the boundary snapshot over everything a trapped
 // compute sweep may have mutated, priming a bit-identical re-execution:
-// vertex states and halt flags (vertex-confined writes), the direction
-// layer's visited bitmap (its incident-edge sum is folded only after the
-// trap check, so the bitmap alone needs restoring), the trace profile
-// (the attempt's scan/superstep phases are discarded and re-recorded),
-// and the chunk-local aggregator partials (reset deliberately preserves
-// seeded partials for mergeAggregates to consume; a discarded attempt
-// must unseed them or the retry would double-fold).
-func (sp *supRun) rollbackTo(snap *ckpt.Snapshot, halted []bool, master *engineState, ds *dirState, scratch *runScratch, rec *trace.Recorder) {
+// vertex states and halt flags (vertex-confined writes), the program's
+// auxiliary state (AuxProgram writes are vertex-confined too, so the
+// attempt may have recorded levels the retry must re-record), the
+// direction layer's visited bitmap (its incident-edge sum is folded only
+// after the trap check, so the bitmap alone needs restoring), the trace
+// profile (the attempt's scan/superstep phases are discarded and
+// re-recorded), and the chunk-local aggregator partials (reset
+// deliberately preserves seeded partials for mergeAggregates to consume;
+// a discarded attempt must unseed them or the retry would double-fold).
+func (sp *supRun) rollbackTo(snap *ckpt.Snapshot, halted []bool, aux []int64, master *engineState, ds *dirState, scratch *runScratch, rec *trace.Recorder) {
 	copy(master.states, snap.States)
 	copy(halted, snap.Halted)
+	if len(aux) > 0 && len(snap.Aux) == len(aux) {
+		copy(aux, snap.Aux)
+	}
 	if ds != nil && len(snap.Visited) > 0 {
 		copy(ds.visited, snap.Visited)
 	}

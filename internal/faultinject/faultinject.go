@@ -307,6 +307,25 @@ func (pp *panicProgram) PullCapable() bool {
 	return false
 }
 
+// Lanes forwards the inner program's lane assignment (core.LaneProgram);
+// nil when the inner program is unbatched, which the engine treats as
+// absent — so wrapping never changes fingerprints or lane reporting.
+func (pp *panicProgram) Lanes() []int64 {
+	if p, ok := pp.inner.(core.LaneProgram); ok {
+		return p.Lanes()
+	}
+	return nil
+}
+
+// AuxState forwards the inner program's auxiliary state (core.AuxProgram)
+// so checkpoints taken through the wrapper snapshot and restore it.
+func (pp *panicProgram) AuxState() []int64 {
+	if p, ok := pp.inner.(core.AuxProgram); ok {
+		return p.AuxState()
+	}
+	return nil
+}
+
 // FlipBit flips the given bit of the byte at offset in the file at path —
 // the on-disk corruption primitive for checkpoint validation tests.
 func FlipBit(path string, offset int64, bit uint) error {

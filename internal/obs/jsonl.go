@@ -39,7 +39,8 @@ func (j *JSONL) RunStart(info RunInfo) {
 		Workers  int    `json:"workers"`
 		Vertices int64  `json:"vertices,omitempty"`
 		Edges    int64  `json:"edges,omitempty"`
-	}{"run_start", info.Label, info.Workers, info.Vertices, info.Edges})
+		Lanes    int    `json:"lanes,omitempty"`
+	}{"run_start", info.Label, info.Workers, info.Vertices, info.Edges, info.Lanes})
 }
 
 // Span implements Sink.
@@ -79,8 +80,9 @@ func (j *JSONL) Step(st StepStats) {
 		Unvisited int64  `json:"unvisited_edges,omitempty"`
 		Retries   int64  `json:"retries,omitempty"`
 		Stalled   bool   `json:"stalled,omitempty"`
+		Lanes     int64  `json:"lanes,omitempty"`
 	}{"step", st.Step, st.Active, st.Sent, st.SentPhysical, st.Delivered, st.Received, st.ScratchBytes,
-		st.Direction, st.FrontierEdges, st.UnvisitedEdges, st.Retries, st.Stalled})
+		st.Direction, st.FrontierEdges, st.UnvisitedEdges, st.Retries, st.Stalled, st.Lanes})
 }
 
 // NoteFallback implements FallbackNoter: each damaged checkpoint the

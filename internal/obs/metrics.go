@@ -44,6 +44,7 @@ type Metrics struct {
 	retries     *metrics.Counter
 	stalls      *metrics.Counter
 	fallbacks   *metrics.Counter
+	batchRuns   *metrics.Counter
 	dirSteps    map[string]*metrics.Counter
 
 	workers   *metrics.Gauge
@@ -56,12 +57,20 @@ type Metrics struct {
 	heapAlloc *metrics.Gauge
 	heapSys   *metrics.Gauge
 	gcCount   *metrics.Gauge
+	lanes     *metrics.Gauge
+	amortized *metrics.Gauge
 
 	stepWall *metrics.Histogram
 	runWall  *metrics.Histogram
 	ckptWall *metrics.Histogram
 	phase    map[string]*metrics.Histogram
 	busyUs   []*metrics.Counter // per worker index
+
+	// Per-run batch accumulation: lane occupancy of the current run and its
+	// logical sends so far, so RunEnd can publish the amortized per-query
+	// edge cost (sends / lanes) without re-reading the event stream.
+	curLanes int
+	curSent  int64
 
 	// Per-superstep accumulation between Span and Step events: a
 	// superstep's wall is the sum of its engine phase spans
@@ -92,6 +101,7 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		retries:     reg.Counter("graphxmt_retries_total", "superstep re-executions after trapped faults (deterministic retry)"),
 		stalls:      reg.Counter("graphxmt_watchdog_stalls_total", "supersteps that outlived the watchdog deadline"),
 		fallbacks:   reg.Counter("graphxmt_ckpt_fallback_total", "damaged checkpoints skipped by the resume fallback chain"),
+		batchRuns:   reg.Counter("graphxmt_batch_runs_total", "batched multi-source runs observed (lane occupancy > 0)"),
 		dirSteps:    map[string]*metrics.Counter{},
 		workers:     reg.Gauge("graphxmt_run_workers", "host worker count of the current run"),
 		vertices:    reg.Gauge("graphxmt_graph_vertices", "vertex count of the current run's graph"),
@@ -103,6 +113,8 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		heapAlloc:   reg.Gauge("graphxmt_heap_alloc_bytes", "heap bytes allocated (last sample)"),
 		heapSys:     reg.Gauge("graphxmt_heap_sys_bytes", "heap bytes reserved from the OS (last sample)"),
 		gcCount:     reg.Gauge("graphxmt_gc_count", "cumulative GC collections (last sample)"),
+		lanes:       reg.Gauge("graphxmt_batch_lanes", "lane occupancy of the current run (0 for unbatched runs)"),
+		amortized:   reg.Gauge("graphxmt_batch_amortized_edges_per_query", "logical sends divided by lane occupancy for the last completed batched run"),
 		stepWall:    reg.Histogram("graphxmt_superstep_wall_us", "superstep wall time (sum of engine phase spans), microseconds", metrics.DurationBounds),
 		runWall:     reg.Histogram("graphxmt_run_wall_us", "whole-run wall time, microseconds", metrics.DurationBounds),
 		ckptWall:    reg.Histogram("graphxmt_checkpoint_write_us", "checkpoint snapshot+write latency, microseconds", metrics.DurationBounds),
@@ -124,6 +136,11 @@ func (m *Metrics) RunStart(info RunInfo) {
 	m.workers.Set(int64(info.Workers))
 	m.vertices.Set(info.Vertices)
 	m.edges.Set(info.Edges)
+	m.lanes.Set(int64(info.Lanes))
+	if info.Lanes > 0 {
+		m.batchRuns.Inc()
+	}
+	m.curLanes, m.curSent = info.Lanes, 0
 	m.curWall, m.curBusy, m.curWkrs = 0, 0, info.Workers
 	for len(m.busyUs) < info.Workers {
 		m.busyUs = append(m.busyUs, m.reg.Counter("graphxmt_worker_busy_us_total",
@@ -168,6 +185,7 @@ func (m *Metrics) Step(st StepStats) {
 	m.steps.Inc()
 	m.active.Add(st.Active)
 	m.logical.Add(st.Sent)
+	m.curSent += st.Sent
 	m.physical.Add(st.SentPhysical)
 	m.delivered.Add(st.Delivered)
 	m.received.Add(st.Received)
@@ -207,4 +225,7 @@ func (m *Metrics) Mem(s MemSample) {
 func (m *Metrics) RunEnd(wall time.Duration) {
 	m.runsDone.Inc()
 	m.runWall.Observe(wall.Microseconds())
+	if m.curLanes > 0 {
+		m.amortized.Set(m.curSent / int64(m.curLanes))
+	}
 }

@@ -40,6 +40,10 @@ type RunInfo struct {
 	Workers int
 	// Vertices and Edges describe the input graph; zero when unknown.
 	Vertices, Edges int64
+	// Lanes is the batched run's lane occupancy — how many of the
+	// per-vertex mask's 64 bit lanes carry a query (core.LaneProgram);
+	// zero for unbatched runs.
+	Lanes int
 }
 
 // Span is one wall-clock phase of one superstep (or kernel iteration).
@@ -111,6 +115,12 @@ type StepStats struct {
 	// superstep was terminal.
 	Retries int64
 	Stalled bool
+	// Lanes is the number of bit lanes active in the superstep's outgoing
+	// traffic (popcount of the OR of every payload) for batched
+	// multi-source runs; zero for unbatched runs and for supersteps that
+	// sent nothing. A pure function of the logical traffic — identical at
+	// any worker count and under either broadcast treatment.
+	Lanes int64
 }
 
 // MemSample is a sampled runtime.MemStats snapshot.

@@ -45,6 +45,9 @@ type reportRun struct {
 	// the retry/stall columns render only then — clean runs (supervised
 	// or not) keep the legacy table shape.
 	hasRetry bool
+	// hasLanes marks a batched multi-source run (RunInfo.Lanes > 0); the
+	// lanes column and the batch amortization footer render only then.
+	hasLanes bool
 
 	memFirst, memLast MemSample
 	memPeak           uint64
@@ -59,6 +62,7 @@ type stepRow struct {
 	frontier, unvisited               int64
 	retries                           int64
 	stalled                           bool
+	lanes                             int64
 	hasStats                          bool
 	phases                            map[string]time.Duration
 
@@ -81,6 +85,7 @@ func (r *Report) RunStart(info RunInfo) {
 		phaseBusy:   map[string]time.Duration{},
 		phaseMaxCh:  map[string]time.Duration{},
 		stepIdx:     map[int]int{},
+		hasLanes:    info.Lanes > 0,
 	}
 	r.runs = append(r.runs, r.cur)
 }
@@ -150,6 +155,7 @@ func (r *Report) Step(st StepStats) {
 	if st.Retries > 0 || st.Stalled {
 		run.hasRetry = true
 	}
+	row.lanes = st.Lanes
 	row.hasStats = true
 }
 
@@ -203,6 +209,9 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 	if r.info.Vertices > 0 {
 		fmt.Fprintf(w, ", %d vertices, %d edges", r.info.Vertices, r.info.Edges)
 	}
+	if r.info.Lanes > 0 {
+		fmt.Fprintf(w, ", %d lanes", r.info.Lanes)
+	}
 	fmt.Fprintf(w, ", wall %s ==\n", fmtDur(r.wall))
 
 	// Per-superstep table: counters first, then one column per phase in
@@ -213,6 +222,9 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 	}
 	if r.hasRetry {
 		fmt.Fprintf(w, " %5s %5s", "retry", "stall")
+	}
+	if r.hasLanes {
+		fmt.Fprintf(w, " %5s", "lanes")
 	}
 	fmt.Fprintf(w, " %6s", "imbal")
 	for _, name := range r.phaseOrder {
@@ -225,11 +237,11 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 		head := maxRows * 3 / 4
 		tail := maxRows - head
 		elided = len(rows) - head - tail
-		printRows(w, rows[:head], r.phaseOrder, r.hasDir, r.hasRetry)
+		printRows(w, rows[:head], r.phaseOrder, r.hasDir, r.hasRetry, r.hasLanes)
 		fmt.Fprintf(w, "%6s  ... %d supersteps elided ...\n", "", elided)
 		rows = rows[len(rows)-tail:]
 	}
-	printRows(w, rows, r.phaseOrder, r.hasDir, r.hasRetry)
+	printRows(w, rows, r.phaseOrder, r.hasDir, r.hasRetry, r.hasLanes)
 
 	// Phase totals with share of wall time.
 	fmt.Fprintf(w, "phases:")
@@ -276,6 +288,19 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 		fmt.Fprintln(w)
 	}
 
+	// Batch amortization: one lane-packed broadcast serves every lane
+	// crossing the edge that superstep, so the per-query edge cost is the
+	// run's logical sends divided by lane occupancy — the figure the MS-BFS
+	// layer exists to shrink.
+	if r.info.Lanes > 0 {
+		var sent int64
+		for _, row := range r.steps {
+			sent += row.sent
+		}
+		fmt.Fprintf(w, "batch: %d lanes, %d lane-packed sends, %.0f amortized edge traversals/query\n",
+			r.info.Lanes, sent, float64(sent)/float64(r.info.Lanes))
+	}
+
 	if r.memSamples > 0 {
 		gcs := r.memLast.NumGC - r.memFirst.NumGC
 		pause := r.memLast.PauseTotal - r.memFirst.PauseTotal
@@ -292,7 +317,7 @@ func (r *reportRun) render(w io.Writer, maxRows int) error {
 	return nil
 }
 
-func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir, hasRetry bool) {
+func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir, hasRetry, hasLanes bool) {
 	for _, row := range rows {
 		if row.hasStats {
 			fmt.Fprintf(w, "%6d %10d %10d %10d %10d %9s", row.step, row.active, row.sent, row.physical, row.delivered, fmtBytes(uint64(row.scratch)))
@@ -312,6 +337,13 @@ func printRows(w io.Writer, rows []*stepRow, phaseOrder []string, hasDir, hasRet
 				stall = "yes"
 			}
 			fmt.Fprintf(w, " %5d %5s", row.retries, stall)
+		}
+		if hasLanes {
+			if row.hasStats {
+				fmt.Fprintf(w, " %5d", row.lanes)
+			} else {
+				fmt.Fprintf(w, " %5s", "-")
+			}
 		}
 		fmt.Fprintf(w, " %6s", fmtImbalance(row.chunks, row.busy, row.maxChunk))
 		for _, name := range phaseOrder {
